@@ -1,0 +1,80 @@
+"""Table II — Incremental Migration back to the source vs primary TPM.
+
+Paper (CLUSTER'08, §VI-C-4, Table II):
+
+==================  ===================  ===================
+workload            IM time (s)          IM data (MB)
+==================  ===================  ===================
+Dynamic web server  1.0                  52.5
+Low-latency server  0.6                  5.5
+Diabolical server   17                   911.4
+==================  ===================  ===================
+
+(primary TPM rows are Table I).  The paper's IM times are far below what a
+full 512 MiB memory transfer needs, so they can only describe the storage
+part of the migration; we therefore report the *storage migration time*
+(disk pre-copy + freeze + post-copy) and storage bytes for the IM leg —
+see EXPERIMENTS.md for the full discussion.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.analysis import (
+    PAPER_TABLE2,
+    format_table,
+    run_table2_experiment,
+)
+
+
+@pytest.mark.parametrize("workload", ["specweb", "video", "bonnie"])
+def test_table2(benchmark, workload, scale):
+    primary, back, bed = run_once(
+        benchmark, run_table2_experiment, workload,
+        scale=scale, warmup=20.0, dwell=30.0)
+    paper = PAPER_TABLE2[workload]
+    im_storage_mb = back.storage_bytes / 2**20
+    rows = [
+        ["Primary TPM time (s)", "Table I", primary.total_migration_time],
+        ["Primary TPM data (MB)", "Table I", primary.migrated_mb],
+        ["IM storage time (s)", paper["time_s"],
+         back.storage_migration_time],
+        ["IM storage data (MB)", paper["data_mb"], im_storage_mb],
+        ["IM total incl. memory (s)", "n/a", back.total_migration_time],
+        ["IM total data (MB)", "n/a", back.migrated_mb],
+    ]
+    emit(benchmark, f"Table II — {workload}",
+         format_table(["metric", "paper", "measured"], rows,
+                      title=f"Table II — {workload} (scale={scale})"),
+         im_storage_s=back.storage_migration_time,
+         im_storage_mb=im_storage_mb)
+
+    assert back.incremental
+    assert back.consistency_verified
+    # The headline claim: IM is drastically cheaper than the primary TPM.
+    assert back.storage_bytes < 0.25 * primary.storage_bytes
+    assert (back.storage_migration_time
+            < 0.25 * primary.storage_migration_time)
+
+
+def test_table2_workload_ordering(benchmark, scale):
+    """Video < web < Bonnie++ in incremental cost, as in the paper."""
+
+    def run_all():
+        out = {}
+        for wl in ("specweb", "video", "bonnie"):
+            _, back, _ = run_table2_experiment(wl, scale=scale, warmup=20.0,
+                                               dwell=30.0)
+            out[wl] = back
+        return out
+
+    backs = run_once(benchmark, run_all)
+    rows = [[wl, PAPER_TABLE2[wl]["time_s"], b.storage_migration_time,
+             PAPER_TABLE2[wl]["data_mb"], b.storage_bytes / 2**20]
+            for wl, b in backs.items()]
+    emit(benchmark, "Table II (all)",
+         format_table(["workload", "paper t (s)", "measured t (s)",
+                       "paper MB", "measured MB"], rows,
+                      title=f"Table II — IM cost by workload (scale={scale})"))
+    assert (backs["video"].storage_bytes < backs["specweb"].storage_bytes
+            < backs["bonnie"].storage_bytes)

@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated testbed and prints a paper-vs-measured comparison.  By default
+experiments run at the paper's full geometry (39 070 MiB VBD, 512 MiB
+RAM); set ``REPRO_BENCH_SCALE`` (e.g. ``0.05``) to shrink everything for a
+quick pass.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Experiment scale factor, from ``REPRO_BENCH_SCALE`` (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a whole-experiment function exactly once under pytest-benchmark.
+
+    These experiments simulate hundreds of seconds of virtual time;
+    repeating them for statistical rounds would add minutes of wall time
+    for no insight (they are deterministic given the seed).
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(benchmark, title: str, text: str, **extra) -> None:
+    """Print a result table and attach key numbers to the benchmark record."""
+    print(f"\n{text}\n")
+    benchmark.extra_info.update(extra)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Five migration schemes, one testbed (paper §II vs §IV).
+
+Runs the same web-server VM through TPM and the four baselines the paper
+discusses, then prints the comparative matrix that motivates the whole
+design: only TPM is simultaneously *live*, *whole-system*, and *finite*
+in its dependency on the source machine.
+
+Run:
+    python examples/scheme_shootout.py
+"""
+
+from repro.analysis.experiments import run_baseline_experiment
+from repro.baselines import availability
+from repro.units import fmt_bytes, fmt_time
+
+SCALE = 0.01
+
+
+def main() -> None:
+    print(f"{'scheme':>16s}  {'downtime':>10s}  {'total':>9s}  "
+          f"{'moved':>10s}  {'disk?':>5s}  source dependency")
+    print("-" * 86)
+
+    for scheme in ("freeze-and-copy", "shared-storage", "on-demand",
+                   "delta-queue", "tpm"):
+        report, bed, mig = run_baseline_experiment(
+            scheme, "specweb", scale=SCALE, warmup=10.0, tail=10.0)
+        if scheme == "shared-storage":
+            disk, dependency = "no", "n/a (disk is shared)"
+        elif scheme == "on-demand":
+            disk = "yes"
+            dependency = (f"UNBOUNDED — {mig.residual_blocks} blocks still "
+                          f"only on the source")
+            mig.stop()
+            bed.env.run(until=bed.env.now + 0.1)
+        elif scheme == "delta-queue":
+            disk = "yes"
+            dependency = (f"ends after replay (guest I/O blocked "
+                          f"{fmt_time(report.extra['io_block_time'])})")
+        elif scheme == "freeze-and-copy":
+            disk, dependency = "yes", "none (but the VM was down throughout)"
+        else:
+            disk = "yes"
+            dependency = (f"finite — post-copy done in "
+                          f"{fmt_time(report.postcopy.duration)}")
+        print(f"{scheme:>16s}  {fmt_time(report.downtime):>10s}  "
+              f"{fmt_time(report.total_migration_time):>9s}  "
+              f"{fmt_bytes(report.migrated_bytes):>10s}  {disk:>5s}  "
+              f"{dependency}")
+
+    print("-" * 86)
+    p = 0.99
+    print(f"availability note (§II-B): with machine availability p={p}, an "
+          f"on-demand-migrated system runs at p^2 = {availability(p):.4f} — "
+          "worse than never migrating.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Telecommuting: the working environment commutes office <-> home (§V).
+
+The paper's second IM scenario: a user's VM moves to the home machine in
+the evening and back to the office machine in the morning, day after day.
+After the first (full) migration every trip is incremental, so the commute
+cost is proportional to a day's edits, not to the 40 GB disk.
+
+Run:
+    python examples/telecommute.py
+"""
+
+from repro.analysis import build_testbed
+from repro.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    bed = build_testbed(workload="specweb", scale=0.02, seed=21)
+    office, home = bed.source, bed.destination
+    bed.start_workload()
+    bed.run_for(10.0)
+
+    print(f"{'trip':28s}  {'mode':12s}  {'storage time':>12s}  "
+          f"{'disk moved':>12s}  {'downtime':>10s}")
+    print("-" * 82)
+
+    workday = 20.0  # simulated "day" of activity between trips
+    for day in range(1, 4):
+        for leg, destination in (("evening: office -> home", home),
+                                 ("morning: home -> office", office)):
+            report = bed.migrate(destination=destination)
+            mode = "incremental" if report.incremental else "FULL"
+            print(f"day {day}, {leg:22s}  {mode:12s}  "
+                  f"{fmt_time(report.storage_migration_time):>12s}  "
+                  f"{fmt_bytes(report.storage_bytes):>12s}  "
+                  f"{fmt_time(report.downtime):>10s}")
+            assert report.consistency_verified
+            bed.run_for(workday)
+
+    full = bed.migrator.history[0]
+    trips = bed.migrator.history[1:]
+    avg_inc = sum(r.storage_bytes for r in trips) / len(trips)
+    print("-" * 82)
+    print(f"first trip moved {fmt_bytes(full.storage_bytes)}; every later "
+          f"trip averaged {fmt_bytes(avg_inc)} "
+          f"({full.storage_bytes / avg_inc:.0f}x less).")
+    print("The VM looked alive throughout: worst downtime "
+          f"{fmt_time(max(r.downtime for r in bed.migrator.history))}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Whole-system migration over a WAN-class path (paper refs [6], [9]).
+
+The paper's scheme targets a Gigabit LAN, but the same algorithms run over
+metro/wide-area paths — that is Bradford et al.'s setting and the
+Travostino MAN/WAN reference.  This example migrates the video server over
+a 100 Mbit / 20 ms path and shows what helps: compressing the stream
+(§III-A) cuts total time nearly in half; the block-bitmap still keeps
+downtime in tens of milliseconds despite the long haul.
+
+Run:
+    python examples/wan_migration.py
+"""
+
+from repro.analysis import build_testbed
+from repro.core import MigrationConfig
+from repro.units import MB, fmt_bytes, fmt_time
+
+SCALE = 0.02
+WAN_BW = 12.5 * MB      # 100 Mbit/s
+WAN_LATENCY = 0.020     # 20 ms one way
+
+
+def run(label: str, config: MigrationConfig) -> None:
+    bed = build_testbed(workload="video", scale=SCALE, seed=11,
+                        config=config, link_bandwidth=WAN_BW,
+                        link_latency=WAN_LATENCY)
+    bed.start_workload()
+    bed.run_for(10.0)
+    report = bed.migrate(config=config)
+    stalls = bed.workload.stalls
+    print(f"  {label:24s} total={fmt_time(report.total_migration_time):>9s}"
+          f"  downtime={fmt_time(report.downtime):>8s}"
+          f"  wire={fmt_bytes(report.migrated_bytes):>10s}"
+          f"  playback stalls={stalls}")
+    assert report.consistency_verified
+
+
+def main() -> None:
+    print(f"Migrating the video server over a 100 Mbit, 20 ms WAN path "
+          f"(scale={SCALE}):\n")
+    run("plain", MigrationConfig())
+    run("compressed 2:1", MigrationConfig(compress=True,
+                                          compression_ratio=2.0))
+    run("compressed 4:1", MigrationConfig(compress=True,
+                                          compression_ratio=4.0))
+    print("\nCompression shrinks the network-bound pre-copy almost "
+          "linearly with the ratio,")
+    print("while the block-bitmap keeps the freeze window tiny even at "
+          "WAN latency.")
+
+
+if __name__ == "__main__":
+    main()

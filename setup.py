@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so pip's PEP 660
+editable-install path (which needs ``bdist_wheel``) fails.  With this shim,
+``pip install -e . --no-build-isolation --no-use-pep517`` uses the classic
+``setup.py develop`` route, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""Write-locality measurement (paper §IV-A-2).
+
+The paper motivates bitmap-based synchronization over Bradford-style delta
+queues by measuring how often workloads rewrite blocks they already wrote:
+~11 % of write operations for a Linux kernel build, 25.2 % for SPECweb
+banking, 35.6 % for Bonnie++.  Every rewrite is a block the delta queue
+carries twice but the bitmap marks once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.blkback import BackendDriver
+from ..storage.block import IORequest
+
+
+@dataclass
+class LocalityStats:
+    """Rewrite-locality figures for one observation window."""
+
+    write_ops: int
+    rewrite_ops: int
+    blocks_written: int
+    blocks_rewritten: int
+
+    @property
+    def op_rewrite_fraction(self) -> float:
+        """Fraction of write *operations* touching a previously written
+        block — the paper's metric."""
+        return self.rewrite_ops / self.write_ops if self.write_ops else 0.0
+
+    @property
+    def block_rewrite_fraction(self) -> float:
+        """Fraction of written *blocks* that were written before."""
+        return (self.blocks_rewritten / self.blocks_written
+                if self.blocks_written else 0.0)
+
+    @property
+    def delta_redundancy_blocks(self) -> int:
+        """Blocks a forward-every-write delta queue would carry redundantly
+        (a bitmap would coalesce them)."""
+        return self.blocks_rewritten
+
+
+class WriteLocalityTracker:
+    """Observes a driver's writes and measures rewrite locality.
+
+    Register on a backend driver::
+
+        tracker = WriteLocalityTracker(vbd.nblocks)
+        driver.write_observers.append(tracker)
+    """
+
+    def __init__(self, nblocks: int) -> None:
+        self._seen = np.zeros(nblocks, dtype=bool)
+        self.write_ops = 0
+        self.rewrite_ops = 0
+        self.blocks_written = 0
+        self.blocks_rewritten = 0
+
+    def __call__(self, request: IORequest) -> None:
+        lo, hi = request.block, request.block + request.nblocks
+        window = self._seen[lo:hi]
+        rewritten = int(window.sum())
+        self.write_ops += 1
+        if rewritten:
+            self.rewrite_ops += 1
+        self.blocks_written += request.nblocks
+        self.blocks_rewritten += rewritten
+        window[:] = True
+
+    def stats(self) -> LocalityStats:
+        return LocalityStats(self.write_ops, self.rewrite_ops,
+                             self.blocks_written, self.blocks_rewritten)
+
+    def reset(self, counters_only: bool = False) -> None:
+        """Start a fresh observation window.
+
+        ``counters_only=True`` keeps the seen-blocks history — use it after
+        a warm-up period so the window measures steady-state locality
+        instead of the all-fresh startup transient.
+        """
+        if not counters_only:
+            self._seen[:] = False
+        self.write_ops = self.rewrite_ops = 0
+        self.blocks_written = self.blocks_rewritten = 0
+
+
+def attach_tracker(driver: BackendDriver) -> WriteLocalityTracker:
+    """Create a tracker sized for the driver's VBD and register it."""
+    tracker = WriteLocalityTracker(driver.vbd.nblocks)
+    driver.write_observers.append(tracker)
+    return tracker

@@ -1,0 +1,97 @@
+"""Throughput-derived metrics: performance overhead and disruption time.
+
+These are the paper's two client-perspective metrics (§III-A): *overhead*
+compares service throughput during migration with the unmigrated baseline;
+*disruption time* is how long clients observe degraded responsiveness.
+Both are computed post-hoc from the per-operation samples a workload
+records into its :class:`~repro.sim.timeline.Timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import Timeline
+
+
+def mean_rate(timeline: Timeline, series: str, t_start: float,
+              t_end: float) -> float:
+    """Mean bytes/second of ``series`` over ``[t_start, t_end)``."""
+    if t_end <= t_start:
+        return 0.0
+    times, values = timeline.series(series)
+    if times.size == 0:
+        return 0.0
+    mask = (times >= t_start) & (times < t_end)
+    return float(values[mask].sum()) / (t_end - t_start)
+
+
+@dataclass
+class OverheadResult:
+    """Throughput comparison across a migration window."""
+
+    baseline_rate: float      #: bytes/s without migration influence
+    migration_rate: float     #: bytes/s while migrating
+
+    @property
+    def relative_throughput(self) -> float:
+        """``migration / baseline`` (1.0 = no visible impact)."""
+        if self.baseline_rate == 0:
+            return 1.0
+        return self.migration_rate / self.baseline_rate
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Throughput lost to the migration (0.0 = none)."""
+        return max(0.0, 1.0 - self.relative_throughput)
+
+
+def performance_overhead(
+    timeline: Timeline, series: str,
+    migration_window: tuple[float, float],
+    baseline_window: tuple[float, float],
+) -> OverheadResult:
+    """Paper metric: service throughput during vs without migration."""
+    return OverheadResult(
+        baseline_rate=mean_rate(timeline, series, *baseline_window),
+        migration_rate=mean_rate(timeline, series, *migration_window),
+    )
+
+
+def disruption_time(
+    timeline: Timeline, series: str,
+    window: tuple[float, float],
+    baseline_rate: float,
+    bin_width: float = 1.0,
+    threshold: float = 0.9,
+) -> float:
+    """Seconds within ``window`` where throughput fell below
+    ``threshold * baseline_rate`` — the client-visible degradation time."""
+    if baseline_rate <= 0 or window[1] <= window[0]:
+        return 0.0
+    times, values = timeline.series(series)
+    if times.size == 0:
+        return window[1] - window[0]
+    edges = np.arange(window[0], window[1] + bin_width, bin_width)
+    if edges.size < 2:
+        return 0.0
+    sums, _ = np.histogram(times, bins=edges, weights=values)
+    rates = sums / bin_width
+    degraded = rates < threshold * baseline_rate
+    return float(degraded.sum()) * bin_width
+
+
+def stall_free(timeline: Timeline, series: str, window: tuple[float, float],
+               threshold: float) -> bool:
+    """True if no sample of ``series`` in ``window`` exceeds ``threshold``.
+
+    Used for the video experiment: playback is fluent iff every read
+    latency stayed under the player-buffer threshold.
+    """
+    times, values = timeline.series(series)
+    if times.size == 0:
+        return True
+    mask = (times >= window[0]) & (times < window[1])
+    return bool((values[mask] <= threshold).all())

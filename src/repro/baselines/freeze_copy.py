@@ -1,0 +1,111 @@
+"""Freeze-and-copy whole-system migration (Internet Suspend/Resume).
+
+The paper's Related Work §II-B: suspend the VM, copy *all* of its state —
+disk, memory, CPU — to the destination, then restart it there.  Exactly
+one copy of the run-time state crosses the wire (no retransfers, no
+protocol redundancy beyond headers), but the service is down for the
+entire transfer: minutes to hours for tens of GB.  This is the downtime
+baseline TPM's three phases exist to destroy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from ..core.config import MigrationConfig
+from ..core.metrics import MigrationReport
+from ..core.transfer import BlockStreamer, PageStreamer
+from ..errors import MigrationError
+from ..net.channel import Channel
+from ..net.messages import CPUStateMsg
+from ..vm.domain import Domain
+from ..vm.host import Host
+from ..vm.memory import GuestMemory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class FreezeAndCopyMigration:
+    """Suspend → copy everything → resume."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        domain: Domain,
+        source: Host,
+        destination: Host,
+        fwd_channel: Channel,
+        rev_channel: Channel,
+        config: Optional[MigrationConfig] = None,
+        workload_name: str = "unknown",
+    ) -> None:
+        self.env = env
+        self.domain = domain
+        self.source = source
+        self.destination = destination
+        self.fwd = fwd_channel
+        self.rev = rev_channel
+        self.config = config if config is not None else MigrationConfig()
+        self.report = MigrationReport(scheme="freeze-and-copy",
+                                      workload=workload_name)
+
+    def run(self) -> Generator:
+        """Execute the migration; returns a :class:`MigrationReport`."""
+        env = self.env
+        domain = self.domain
+        cfg = self.config
+        report = self.report
+        report.started_at = env.now
+
+        if domain.host is not self.source:
+            raise MigrationError(f"{domain} is not on the source host")
+
+        src_vbd = self.source.vbd_of(domain.domain_id)
+        dest_vbd = self.destination.prepare_vbd(
+            src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
+
+        # Freeze first: everything below happens with the VM down.
+        domain.suspend()
+        report.suspended_at = env.now
+        if cfg.suspend_overhead > 0:
+            yield env.timeout(cfg.suspend_overhead)
+        yield from self.source.driver_of(domain.domain_id).quiesce()
+
+        report.precopy_disk_started_at = env.now
+        streamer = BlockStreamer(env, self.source.disk, src_vbd,
+                                 self.destination.disk, dest_vbd,
+                                 self.fwd, cfg)
+        yield from streamer.stream(
+            np.arange(src_vbd.nblocks, dtype=np.int64),
+            category="disk", limited=False)
+        report.precopy_disk_ended_at = env.now
+
+        shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
+                             clock=domain.memory.clock)
+        pages = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
+        yield from pages.stream(
+            np.arange(domain.memory.npages, dtype=np.int64),
+            category="memory", limited=False)
+        yield from self.fwd.send(CPUStateMsg(domain.cpu.state_nbytes),
+                                 category="cpu", limited=False)
+        yield self.fwd.recv()
+        if not shadow.identical_to(domain.memory):
+            raise MigrationError("memory inconsistent after freeze-copy")
+
+        self.source.detach_domain(domain.domain_id)
+        self.destination.attach_domain(domain, dest_vbd)
+        domain.memory = shadow
+        if cfg.resume_overhead > 0:
+            yield env.timeout(cfg.resume_overhead)
+        domain.resume()
+        report.resumed_at = env.now
+        report.ended_at = env.now
+
+        report.bytes_by_category = dict(self.fwd.bytes_by_category)
+        if cfg.verify_consistency:
+            src_vbd.assert_identical(dest_vbd)
+            report.consistency_verified = True
+        return report

@@ -1,0 +1,247 @@
+"""On-demand fetching migration (paper §II-B, after Kozuch et al.).
+
+Memory and CPU state migrate live; the VM resumes on the destination
+immediately and disk blocks are fetched from the source only when first
+accessed.  Downtime matches shared-storage migration, but the source can
+never be shut down: any block the guest has not yet touched still lives
+only there — the *irremovable residual dependency* the paper criticises.
+With machine availability ``p``, the migrated system's availability is
+``p**2`` (both machines must be up), worse than not migrating at all.
+
+TPM's post-copy borrows this scheme's *pull* path but adds the *push*
+stream precisely so the dependency ends in finite time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..bitmap import FlatBitmap
+from ..core.config import MigrationConfig
+from ..core.memcopy import MemoryPreCopier
+from ..core.metrics import MigrationReport
+from ..core.transfer import PageStreamer
+from ..errors import MigrationError
+from ..net.channel import Channel
+from ..net.messages import BlockDataMsg, ControlMsg, CPUStateMsg, PullRequestMsg
+from ..storage.block import IORequest
+from ..vm.domain import Domain
+from ..vm.host import Host
+from ..vm.memory import GuestMemory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment, Event
+
+
+def availability(p: float, machines: int = 2) -> float:
+    """System availability when ``machines`` must all be up (paper §II-B)."""
+    if not 0 <= p <= 1:
+        raise ValueError(f"availability must be in [0, 1], got {p}")
+    return p ** machines
+
+
+class OnDemandMigration:
+    """Live memory migration with delayed, access-driven storage fetching."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        domain: Domain,
+        source: Host,
+        destination: Host,
+        fwd_channel: Channel,
+        rev_channel: Channel,
+        config: Optional[MigrationConfig] = None,
+        workload_name: str = "unknown",
+    ) -> None:
+        self.env = env
+        self.domain = domain
+        self.source = source
+        self.destination = destination
+        self.fwd = fwd_channel
+        self.rev = rev_channel
+        self.config = config if config is not None else MigrationConfig()
+        self.report = MigrationReport(scheme="on-demand",
+                                      workload=workload_name)
+        #: Blocks already valid on the destination.
+        self.present: Optional[FlatBitmap] = None
+        #: Blocks fetched so far / reads that stalled on a fetch.
+        self.fetched_blocks = 0
+        self.stalled_reads = 0
+        self.stall_time = 0.0
+        self._pending: dict[int, list["Event"]] = {}
+        self._requested: set[int] = set()
+        self._procs: list = []
+        self._dst_driver = None
+        self._src_vbd = None
+        self._dest_vbd = None
+
+    # -- residual dependency -------------------------------------------------
+
+    @property
+    def residual_blocks(self) -> int:
+        """Blocks still living only on the source machine."""
+        if self.present is None:
+            return 0
+        return self.present.nbits - self.present.count()
+
+    @property
+    def dependency_alive(self) -> bool:
+        """True while the source machine cannot be shut down."""
+        return self.residual_blocks > 0
+
+    def stop(self) -> None:
+        """Tear down the fetch service (end of the experiment)."""
+        if self._dst_driver is not None:
+            self._dst_driver.interceptor = None
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("stop")
+
+    # -- migration -------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Execute the live phase; returns a :class:`MigrationReport`.
+
+        On return the VM runs on the destination but the fetch service
+        keeps running in the background for as long as blocks are absent.
+        """
+        env = self.env
+        domain = self.domain
+        cfg = self.config
+        report = self.report
+        report.started_at = env.now
+
+        if domain.host is not self.source:
+            raise MigrationError(f"{domain} is not on the source host")
+
+        self._src_vbd = self.source.vbd_of(domain.domain_id)
+        self._dest_vbd = self.destination.prepare_vbd(
+            self._src_vbd.nblocks, self._src_vbd.block_size,
+            data=self._src_vbd.has_data)
+
+        # Live memory migration (identical to the shared-storage scheme).
+        shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
+                             clock=domain.memory.clock)
+        streamer = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
+        report.precopy_mem_started_at = env.now
+        report.mem_rounds = yield from MemoryPreCopier(
+            env, domain.memory, streamer, cfg).run()
+        report.precopy_mem_ended_at = env.now
+
+        domain.suspend()
+        report.suspended_at = env.now
+        if cfg.suspend_overhead > 0:
+            yield env.timeout(cfg.suspend_overhead)
+        yield from self.source.driver_of(domain.domain_id).quiesce()
+        final = domain.memory.stop_logging()
+        pages = final.dirty_indices()
+        report.final_dirty_pages = int(pages.size)
+        yield from streamer.stream(pages, category="memory", limited=False)
+        yield from self.fwd.send(CPUStateMsg(domain.cpu.state_nbytes),
+                                 category="cpu", limited=False)
+        yield self.fwd.recv()
+        if not shadow.identical_to(domain.memory):
+            raise MigrationError("memory inconsistent at end of freeze")
+
+        self.source.detach_domain(domain.domain_id)
+        self._dst_driver = self.destination.attach_domain(domain,
+                                                          self._dest_vbd)
+        domain.memory = shadow
+
+        # Storage: nothing was transferred; everything is fetched on access.
+        self.present = FlatBitmap(self._src_vbd.nblocks)
+        self._dst_driver.interceptor = self._intercept
+        self._procs = [
+            env.process(self._fetch_server(), name="ondemand:server"),
+            env.process(self._receiver(), name="ondemand:recv"),
+        ]
+
+        if cfg.resume_overhead > 0:
+            yield env.timeout(cfg.resume_overhead)
+        domain.resume()
+        report.resumed_at = env.now
+        report.ended_at = env.now  # the *live* migration is over...
+        report.extra["residual_blocks_at_resume"] = self.residual_blocks
+        report.bytes_by_category = dict(self.fwd.bytes_by_category)
+        for key, val in self.rev.bytes_by_category.items():
+            report.bytes_by_category[key] = (
+                report.bytes_by_category.get(key, 0) + val)
+        return report
+
+    # -- destination: on-demand interception ---------------------------------
+
+    def _intercept(self, request: IORequest) -> Generator:
+        present = self.present
+        if request.is_write():
+            # Whole-block writes need no fetch: the new content supersedes.
+            for block in request.blocks():
+                present.set(block)
+            return False
+
+        absent = [b for b in request.blocks() if not present.test(b)]
+        if not absent:
+            return False
+        self.stalled_reads += 1
+        stall_start = self.env.now
+        waiters = [self._wait_for(b) for b in absent]
+        for block in absent:
+            if block not in self._requested:
+                self._requested.add(block)
+                yield from self.rev.send(PullRequestMsg(block),
+                                         category="pull", limited=False)
+        yield self.env.all_of(waiters)
+        self.stall_time += self.env.now - stall_start
+        yield from self._dst_driver.serve_direct(request)
+        return True
+
+    def _wait_for(self, block: int) -> "Event":
+        event = self.env.event()
+        self._pending.setdefault(block, []).append(event)
+        return event
+
+    # -- background fetch service -----------------------------------------
+
+    def _fetch_server(self) -> Generator:
+        """Source side: serve pull requests forever (the dependency)."""
+        from ..sim import Interrupt
+
+        try:
+            while True:
+                msg = yield self.rev.recv()
+                if not isinstance(msg, PullRequestMsg):
+                    continue
+                import numpy as np
+
+                blocks = np.array([msg.block], dtype=np.int64)
+                yield from self.source.disk.read(
+                    int(blocks.size) * self._src_vbd.block_size,
+                    priority=self.config.migration_disk_priority)
+                stamps, data = self._src_vbd.export_blocks(blocks)
+                yield from self.fwd.send(
+                    BlockDataMsg(blocks, stamps, data,
+                                 self._src_vbd.block_size, pulled=True),
+                    category="disk", limited=False)
+        except Interrupt:
+            return
+
+    def _receiver(self) -> Generator:
+        """Destination side: install fetched blocks and wake waiters."""
+        from ..sim import Interrupt
+
+        try:
+            while True:
+                msg = yield self.fwd.recv()
+                if not isinstance(msg, BlockDataMsg):
+                    continue
+                yield from self.destination.disk.write(
+                    msg.nblocks * self._dest_vbd.block_size,
+                    priority=self.config.migration_disk_priority)
+                self._dest_vbd.import_blocks(msg.indices, msg.stamps, msg.data)
+                self.fetched_blocks += msg.nblocks
+                for block in msg.indices.tolist():
+                    self.present.set(int(block))
+                    for event in self._pending.pop(block, []):
+                        event.succeed()
+        except Interrupt:
+            return

@@ -1,0 +1,102 @@
+"""Flat (single-layer) block-bitmap.
+
+In-memory representation is a dense NumPy boolean array — one byte per bit.
+That trades 8x memory for O(1) single-bit access and fully vectorized scans
+(``np.flatnonzero``), which is the right trade inside a simulator.  The
+*serialized* size reported to the migration protocol is the packed size
+(one bit per block), matching the paper's accounting: a 4 KiB-granularity
+bitmap for a 32 GiB disk costs 1 MiB on the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitmapError
+from .base import BlockBitmap
+
+
+class FlatBitmap(BlockBitmap):
+    """Dense bitmap over ``nbits`` blocks."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, nbits: int) -> None:
+        super().__init__(nbits)
+        self._bits = np.zeros(nbits, dtype=bool)
+
+    # -- single-bit ----------------------------------------------------------
+
+    def set(self, index: int) -> None:
+        self._check_index(index)
+        self._bits[index] = True
+
+    def clear(self, index: int) -> None:
+        self._check_index(index)
+        self._bits[index] = False
+
+    def test(self, index: int) -> bool:
+        self._check_index(index)
+        return bool(self._bits[index])
+
+    # -- bulk ------------------------------------------------------------
+
+    def set_many(self, indices: np.ndarray) -> None:
+        self._bits[self._check_indices(indices)] = True
+
+    def clear_many(self, indices: np.ndarray) -> None:
+        self._bits[self._check_indices(indices)] = False
+
+    def set_range(self, start: int, count: int) -> None:
+        self._check_range(start, count)
+        self._bits[start:start + count] = True
+
+    def set_all(self) -> None:
+        self._bits[:] = True
+
+    def reset(self) -> None:
+        self._bits[:] = False
+
+    def count(self) -> int:
+        return int(self._bits.sum())
+
+    def dirty_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._bits)
+
+    # -- whole-bitmap ----------------------------------------------------
+
+    def copy(self) -> "FlatBitmap":
+        clone = FlatBitmap.__new__(FlatBitmap)
+        BlockBitmap.__init__(clone, self.nbits)
+        clone._bits = self._bits.copy()
+        return clone
+
+    def union_update(self, other: BlockBitmap) -> None:
+        if other.nbits != self.nbits:
+            raise BitmapError(
+                f"size mismatch: {self.nbits} vs {other.nbits} blocks")
+        if isinstance(other, FlatBitmap):
+            np.logical_or(self._bits, other._bits, out=self._bits)
+        else:
+            self._bits[other.dirty_indices()] = True
+
+    def serialized_nbytes(self) -> int:
+        return (self.nbits + 7) // 8
+
+    def memory_nbytes(self) -> int:
+        return self._bits.nbytes
+
+    def to_bool_array(self) -> np.ndarray:
+        return self._bits.copy()
+
+    def pack(self) -> np.ndarray:
+        """Wire format: one bit per block, packed into uint8."""
+        return np.packbits(self._bits)
+
+    @classmethod
+    def unpack(cls, packed: np.ndarray, nbits: int) -> "FlatBitmap":
+        """Reconstruct a bitmap from :meth:`pack` output."""
+        bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), count=nbits)
+        bitmap = cls(nbits)
+        bitmap._bits = bits.astype(bool)
+        return bitmap

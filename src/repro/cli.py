@@ -1,0 +1,216 @@
+"""Command-line interface: run migrations and experiments from a shell.
+
+Installed as ``repro-sim`` (see ``pyproject.toml``), or run as
+``python -m repro.cli``.
+
+Examples::
+
+    repro-sim migrate --workload specweb --scale 0.02
+    repro-sim migrate --workload bonnie --rate-limit 30e6 --roundtrip
+    repro-sim migrate --scheme freeze-and-copy --workload idle
+    repro-sim table1 --workload video --scale 0.1
+    repro-sim table2 --workload specweb --scale 0.05 --dwell 60
+    repro-sim locality --workload kernelbuild
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    PAPER_LOCALITY,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_table,
+    run_locality_experiment,
+    run_table1_experiment,
+    run_table2_experiment,
+)
+from .analysis.experiments import BASELINE_SCHEMES, run_baseline_experiment
+from .core import MigrationConfig
+from .units import fmt_bytes, fmt_time
+
+WORKLOADS = ("specweb", "video", "bonnie", "kernelbuild", "idle")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=WORKLOADS, default="specweb",
+                        help="guest workload (default: specweb)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="testbed scale factor, 1.0 = paper geometry "
+                             "(default: 0.02)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (default: 0)")
+    parser.add_argument("--warmup", type=float, default=20.0,
+                        help="seconds of workload before migrating "
+                             "(default: 20)")
+
+
+def _add_config(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        metavar="BYTES_PER_S",
+                        help="cap migration bandwidth during pre-copy")
+    parser.add_argument("--guest-aware", action="store_true",
+                        help="skip never-written blocks (paper §VII)")
+    parser.add_argument("--compress", action="store_true",
+                        help="compress bulk migration data (paper §III-A)")
+    parser.add_argument("--compression-ratio", type=float, default=2.0,
+                        help="assumed compression ratio (default: 2.0)")
+    parser.add_argument("--bitmap", choices=("flat", "layered"),
+                        default="flat", help="block-bitmap layout")
+    parser.add_argument("--max-iterations", type=int, default=4,
+                        help="disk pre-copy iteration cap (default: 4)")
+
+
+def _config_from(args: argparse.Namespace) -> MigrationConfig:
+    return MigrationConfig(
+        rate_limit=args.rate_limit,
+        guest_aware=args.guest_aware,
+        compress=args.compress,
+        compression_ratio=args.compression_ratio,
+        bitmap_layout=args.bitmap,
+        max_disk_iterations=args.max_iterations,
+    )
+
+
+def _print_report(report, label: str = "") -> None:
+    if label:
+        print(f"== {label} ==")
+    print(report.summary())
+    print(f"  phase times: disk pre-copy "
+          f"{fmt_time(report.precopy_disk_ended_at - report.precopy_disk_started_at)}"
+          f", memory {fmt_time(report.precopy_mem_ended_at - report.precopy_mem_started_at)}"
+          f", post-copy {fmt_time(report.postcopy.duration)}")
+    if report.bytes_by_category:
+        ledger = ", ".join(f"{k}={fmt_bytes(v)}" for k, v in
+                           sorted(report.bytes_by_category.items()))
+        print(f"  wire ledger: {ledger}")
+    for key, value in report.extra.items():
+        print(f"  {key}: {value}")
+    print()
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    if args.scheme == "tpm":
+        report, bed = run_table1_experiment(
+            args.workload, scale=args.scale, seed=args.seed,
+            config=config, warmup=args.warmup)
+        _print_report(report, "primary TPM migration")
+        if args.roundtrip:
+            bed.run_for(args.dwell)
+            back = bed.migrate()
+            _print_report(back, "incremental migration back")
+        return 0
+    report, bed, migration = run_baseline_experiment(
+        args.scheme, args.workload, scale=args.scale, seed=args.seed,
+        config=config, warmup=args.warmup, tail=args.dwell)
+    _print_report(report, f"{args.scheme} migration")
+    if args.scheme == "on-demand" and migration is not None:
+        print(f"  residual dependency: {migration.residual_blocks} blocks "
+              f"still only on the source "
+              f"({'alive' if migration.dependency_alive else 'done'})")
+        migration.stop()
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    report, _bed = run_table1_experiment(
+        args.workload, scale=args.scale, seed=args.seed, warmup=args.warmup)
+    paper = PAPER_TABLE1.get(args.workload, {})
+    rows = [
+        ["Total migration time (s)", paper.get("total_s", "n/a"),
+         report.total_migration_time],
+        ["Downtime (ms)", paper.get("downtime_ms", "n/a"),
+         report.downtime * 1e3],
+        ["Migrated data (MB)", paper.get("data_mb", "n/a"),
+         report.migrated_mb],
+    ]
+    print(format_table(["metric", "paper", "measured"], rows,
+                       title=f"Table I — {args.workload} "
+                             f"(scale={args.scale})"))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    primary, back, _bed = run_table2_experiment(
+        args.workload, scale=args.scale, seed=args.seed,
+        warmup=args.warmup, dwell=args.dwell)
+    paper = PAPER_TABLE2.get(args.workload, {})
+    rows = [
+        ["Primary TPM time (s)", "Table I", primary.total_migration_time],
+        ["IM storage time (s)", paper.get("time_s", "n/a"),
+         back.storage_migration_time],
+        ["IM storage data (MB)", paper.get("data_mb", "n/a"),
+         back.storage_bytes / 2**20],
+    ]
+    print(format_table(["metric", "paper", "measured"], rows,
+                       title=f"Table II — {args.workload} "
+                             f"(dwell={args.dwell}s)"))
+    return 0
+
+
+def cmd_locality(args: argparse.Namespace) -> int:
+    stats, _bed = run_locality_experiment(
+        args.workload, duration=args.duration, scale=max(args.scale, 0.02),
+        seed=args.seed, warmup=args.warmup)
+    paper = PAPER_LOCALITY.get(args.workload)
+    rows = [
+        ["rewrite fraction (ops)",
+         f"{paper * 100:.1f} %" if paper else "n/a",
+         f"{stats.op_rewrite_fraction * 100:.1f} %"],
+        ["write operations", "-", stats.write_ops],
+        ["delta-queue redundant blocks", "-",
+         stats.delta_redundancy_blocks],
+    ]
+    print(format_table(["metric", "paper", "measured"], rows,
+                       title=f"§IV-A-2 locality — {args.workload}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Whole-system VM live migration (CLUSTER'08) — "
+                    "simulated experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_migrate = sub.add_parser(
+        "migrate", help="run one migration and print the report")
+    _add_common(p_migrate)
+    _add_config(p_migrate)
+    p_migrate.add_argument("--scheme", choices=BASELINE_SCHEMES,
+                           default="tpm", help="migration scheme")
+    p_migrate.add_argument("--roundtrip", action="store_true",
+                           help="also migrate back (IM) after --dwell")
+    p_migrate.add_argument("--dwell", type=float, default=30.0,
+                           help="seconds on the destination before the "
+                                "return trip (default: 30)")
+    p_migrate.set_defaults(func=cmd_migrate)
+
+    p_t1 = sub.add_parser("table1", help="reproduce a Table I row")
+    _add_common(p_t1)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="reproduce a Table II row")
+    _add_common(p_t2)
+    p_t2.add_argument("--dwell", type=float, default=30.0)
+    p_t2.set_defaults(func=cmd_table2)
+
+    p_loc = sub.add_parser("locality",
+                           help="measure a workload's rewrite locality")
+    _add_common(p_loc)
+    p_loc.add_argument("--duration", type=float, default=120.0)
+    p_loc.set_defaults(func=cmd_locality)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's contribution: Three-Phase Migration and Incremental Migration.
+
+Typical use::
+
+    from repro.sim import Environment
+    from repro.vm import make_testbed, Domain, GuestMemory
+    from repro.core import Migrator, MigrationConfig
+
+    env = Environment()
+    src, dst, clock = make_testbed(env)
+    dom = Domain(env, GuestMemory(131072, clock=clock))
+    src.attach_domain(dom, src.prepare_vbd(nblocks))
+
+    migrator = Migrator(env)
+    migrator.connect(src, dst)
+    proc = migrator.migrate_process(dom, dst)
+    report = env.run(until=proc)
+    print(report.summary())
+"""
+
+from .config import MigrationConfig
+from .manager import Migrator
+from .memcopy import MemoryPreCopier
+from .metrics import IterationStats, MigrationReport, PostCopyStats
+from .postcopy import PostCopySynchronizer
+from .precopy import DiskPreCopier, TRACKING_NAME
+from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
+from .transfer import BlockStreamer, PageStreamer, StreamStats
+
+__all__ = [
+    "BlockStreamer",
+    "DiskPreCopier",
+    "IM_TRACKING_NAME",
+    "IterationStats",
+    "MemoryPreCopier",
+    "MigrationConfig",
+    "MigrationReport",
+    "Migrator",
+    "PageStreamer",
+    "PostCopyStats",
+    "PostCopySynchronizer",
+    "StreamStats",
+    "ThreePhaseMigration",
+    "TRACKING_NAME",
+]

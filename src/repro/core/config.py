@@ -1,0 +1,142 @@
+"""Migration configuration knobs.
+
+Defaults correspond to the paper's setup: 4 KiB bit granularity, a handful
+of pre-copy iterations with a proactive stop when the dirty rate outruns
+the transfer rate, unthrottled migration bandwidth, and IM tracking enabled
+after the primary migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import MigrationError
+from ..units import BLOCK_SIZE
+
+
+@dataclass
+class MigrationConfig:
+    """Tunable parameters of a TPM/IM migration run."""
+
+    # -- block-bitmap --------------------------------------------------------
+    #: ``"flat"`` or ``"layered"`` (paper §IV-A-2).
+    bitmap_layout: str = "flat"
+    #: Part size for the layered layout, in bits.
+    leaf_bits: int = 4096
+
+    # -- disk pre-copy ---------------------------------------------------
+    #: Blocks per transfer chunk (1 MiB at 4 KiB blocks).  Chunks are the
+    #: granularity at which migration I/O interleaves with guest I/O at the
+    #: disk: much larger chunks starve the guest's small reads (visible as
+    #: service-throughput dips the paper does not see on SPECweb), much
+    #: smaller ones waste seeks.
+    chunk_blocks: int = 256
+    #: Hard cap on pre-copy iterations ("we limit the maximum number of
+    #: iterations to avoid endless migration", §IV-A-1).  Four matches the
+    #: paper's observed behaviour: Bonnie++ runs exactly 4 iterations while
+    #: the calmer workloads converge in 2-3.
+    max_disk_iterations: int = 4
+    #: Stop iterating once the dirty set is at most this many blocks; the
+    #: remainder is synchronized by post-copy.
+    disk_dirty_threshold_blocks: int = 128
+    #: Proactive stop: end pre-copy if the storage dirty rate exceeds this
+    #: fraction of the achieved transfer rate (§IV-A-1).
+    dirty_rate_stop_fraction: float = 0.9
+    #: Disk-queue priority of migration I/O.  Guest I/O uses 0; the default
+    #: of 0 means FIFO interleaving with guest requests (a real spindle does
+    #: not privilege either side), which is what produces the paper's
+    #: Figure 6 contention.  Raise it to favour guest I/O.
+    migration_disk_priority: int = 0
+
+    # -- memory pre-copy ---------------------------------------------------
+    #: Include memory + CPU in the migration (False = storage-only, used for
+    #: Table II-style accounting; see EXPERIMENTS.md).
+    include_memory: bool = True
+    #: Pages per memory transfer chunk.
+    mem_chunk_pages: int = 1024
+    #: Maximum iterative memory pre-copy rounds (Xen uses a similar cap).
+    max_mem_rounds: int = 30
+    #: Enter freeze-and-copy once the dirty page set is at most this size.
+    mem_dirty_threshold_pages: int = 256
+
+    # -- bandwidth -------------------------------------------------------
+    #: Migration rate limit in bytes/s for the *pre-copy* phase only
+    #: (§VI-C-3); None = unthrottled.
+    rate_limit: Optional[float] = None
+    #: Token-bucket burst for the rate limiter (defaults to one second of
+    #: budget when left None).
+    rate_limit_burst: Optional[float] = None
+    #: Compress bulk migration payloads before sending (paper §III-A:
+    #: "compress the transferred data ... will show a reduction in total
+    #: migration time").  Helps when the network is the bottleneck (WAN,
+    #: rate-limited); on a fast LAN the disk is the limit and compression
+    #: only adds CPU latency.
+    compress: bool = False
+    #: Compression ratio assumed for guest data (2:1 is typical for
+    #: lz4/lzo-class codecs on mixed OS images).
+    compression_ratio: float = 2.0
+
+    # -- post-copy -------------------------------------------------------
+    #: Blocks per push batch.  Small batches keep pulled blocks from
+    #: queueing behind long pushes.
+    push_chunk_blocks: int = 64
+    #: Enable the source's continuous push stream.  Disabling it leaves a
+    #: pure pull-on-read post-copy — the on-demand behaviour whose
+    #: unbounded source dependency the paper's push exists to avoid.  Used
+    #: by the post-copy ablation; with it off, the phase ends only once the
+    #: guest has touched every dirty block.
+    postcopy_push: bool = True
+
+    # -- incremental migration ---------------------------------------------
+    #: Keep tracking writes on the destination after migration so a later
+    #: migration back can be incremental (§V).
+    track_incremental: bool = True
+
+    # -- guest-aware migration (paper §VII future work, implemented) --------
+    #: Skip blocks the guest never wrote: a never-written block is all
+    #: zeroes on both the source and a freshly prepared destination VBD, so
+    #: the first pre-copy iteration can transfer only the allocated set.
+    #: "If the Guest OS ... can tell the migration process which part is
+    #: not used, the amount of migrated data can be reduced further."
+    guest_aware: bool = False
+
+    # -- freeze costs ------------------------------------------------------
+    #: Fixed hypervisor cost of suspending the domain (device quiesce,
+    #: ring teardown).  Xen-era measurements put suspend+resume in the
+    #: tens of milliseconds; these are charged inside the downtime window.
+    suspend_overhead: float = 0.020
+    #: Fixed hypervisor cost of resuming on the destination (device
+    #: reattach, network fail-over ARP).
+    resume_overhead: float = 0.030
+
+    # -- verification ------------------------------------------------------
+    #: After post-copy, assert that destination storage is consistent with
+    #: the source (modulo blocks legitimately overwritten by the guest).
+    verify_consistency: bool = True
+
+    block_size: int = BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.bitmap_layout not in ("flat", "layered"):
+            raise MigrationError(f"unknown bitmap layout {self.bitmap_layout!r}")
+        if self.chunk_blocks < 1:
+            raise MigrationError("chunk_blocks must be >= 1")
+        if self.max_disk_iterations < 1:
+            raise MigrationError("need at least one disk pre-copy iteration")
+        if not 0 < self.dirty_rate_stop_fraction:
+            raise MigrationError("dirty_rate_stop_fraction must be positive")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise MigrationError("rate_limit must be positive when set")
+        if self.compression_ratio < 1.0:
+            raise MigrationError("compression_ratio must be >= 1")
+        if self.push_chunk_blocks < 1:
+            raise MigrationError("push_chunk_blocks must be >= 1")
+        if self.max_mem_rounds < 1:
+            raise MigrationError("need at least one memory round")
+
+    def replace(self, **overrides) -> "MigrationConfig":
+        """A copy of this config with the given fields changed."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **overrides)

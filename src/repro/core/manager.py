@@ -1,0 +1,211 @@
+"""High-level migration façade and Incremental-Migration bookkeeping (§V).
+
+:class:`Migrator` owns the network topology between hosts and the state
+needed for IM: after a migration, the copy of the disk left on the old
+source is remembered as a *stale copy*, and the destination driver keeps
+tracking guest writes in the IM bitmap (BM_3).  When the domain later
+migrates back to a host that still holds a stale copy, only the BM_3
+blocks are transferred in the first pre-copy iteration.
+
+As in the paper, IM by default acts only between the primary destination
+and the source machine: migrating to a third host invalidates the
+remembered stale copies for that domain.  Constructing the Migrator with
+``multi_host_im=True`` enables the paper's stated *future work* — "local
+disk storage version maintenance to facilitate IM ... among any recently
+used physical machines": one divergence bitmap is maintained per stale
+host and carried across hops, so a VM that travelled A→B→C can still
+return to A incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import MigrationError, StorageError
+from ..net.channel import Channel
+from ..net.compression import Compressor
+from ..net.link import DuplexLink
+from ..net.ratelimit import NullLimiter, TokenBucket
+from ..storage.vbd import VirtualBlockDevice
+from ..units import Gbps
+from ..vm.domain import Domain
+from ..vm.host import Host
+from .config import MigrationConfig
+from .metrics import MigrationReport
+from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment, Process
+
+
+class Migrator:
+    """Coordinates migrations among a set of hosts on a network."""
+
+    def __init__(self, env: "Environment",
+                 config: Optional[MigrationConfig] = None,
+                 multi_host_im: bool = False) -> None:
+        self.env = env
+        self.config = config if config is not None else MigrationConfig()
+        #: Enable the paper's future-work extension: IM back to *any*
+        #: recently used host, not just the immediately previous one.
+        self.multi_host_im = multi_host_im
+        #: (host_a.name, host_b.name) -> DuplexLink (forward = a->b).
+        self._links: dict[tuple[str, str], DuplexLink] = {}
+        self._hosts: dict[str, Host] = {}
+        #: (domain_id, host_name) -> stale VBD left behind on that host.
+        self._stale: dict[tuple[int, str], VirtualBlockDevice] = {}
+        #: domain_id -> name of the host the domain most recently left
+        #: (the host its "im" bitmap diverges from).
+        self._im_source: dict[int, str] = {}
+        #: All reports produced, in order.
+        self.history: list[MigrationReport] = []
+        #: domain_id -> in-flight migration (for :meth:`abort`).
+        self.active_migrations: dict[int, "ThreePhaseMigration"] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    def connect(self, a: Host, b: Host, bandwidth: float = 1 * Gbps,
+                latency: float = 100e-6) -> DuplexLink:
+        """Join two hosts with a full-duplex link."""
+        self._hosts[a.name] = a
+        self._hosts[b.name] = b
+        link = DuplexLink(self.env, bandwidth, latency,
+                          name=f"{a.name}<->{b.name}")
+        self._links[(a.name, b.name)] = link
+        return link
+
+    def link_between(self, src: Host, dst: Host) -> tuple:
+        """``(data_link, reverse_link)`` for a migration src → dst."""
+        link = self._links.get((src.name, dst.name))
+        if link is not None:
+            return link.forward, link.backward
+        link = self._links.get((dst.name, src.name))
+        if link is not None:
+            return link.backward, link.forward
+        raise MigrationError(
+            f"no link between {src.name!r} and {dst.name!r}")
+
+    # -- migration -------------------------------------------------------
+
+    def migrate(self, domain: Domain, destination: Host,
+                config: Optional[MigrationConfig] = None,
+                workload_name: str = "unknown") -> Generator:
+        """Migrate ``domain`` to ``destination``; returns the report.
+
+        ``yield from`` inside a process (or use :meth:`migrate_process`).
+        Automatically chooses incremental migration when the destination
+        still holds a stale copy of the domain's disk and the current host
+        has been tracking writes since the last migration.
+        """
+        cfg = config if config is not None else self.config
+        source = domain.host
+        if source is None:
+            raise MigrationError(f"{domain} is not running on any host")
+        if destination is source:
+            raise MigrationError("destination must differ from the source")
+
+        fwd_link, rev_link = self.link_between(source, destination)
+        limiter = (TokenBucket(self.env, cfg.rate_limit, cfg.rate_limit_burst)
+                   if cfg.rate_limit else NullLimiter())
+        compressor = (Compressor(ratio=cfg.compression_ratio)
+                      if cfg.compress else None)
+        fwd = Channel(self.env, fwd_link, limiter=limiter,
+                      name=f"mig:{source.name}->{destination.name}",
+                      compressor=compressor)
+        rev = Channel(self.env, rev_link,
+                      name=f"mig:{destination.name}->{source.name}")
+
+        # Incremental? -- needs a stale copy at the destination AND a live
+        # divergence bitmap on the current host recording writes since the
+        # domain last left that destination.
+        src_driver = source.driver_of(domain.domain_id)
+        divergence = self._collect_divergence(domain, src_driver)
+
+        initial_indices = None
+        dest_vbd = None
+        stale_key = (domain.domain_id, destination.name)
+        if stale_key in self._stale and destination.name in divergence:
+            dest_vbd = self._stale.pop(stale_key)
+            initial_indices = divergence.pop(
+                destination.name).dirty_indices()
+
+        # Multi-host IM: divergence maps against the *other* stale hosts
+        # keep tracking on the source through pre-copy (they are still
+        # registered there) and are re-registered on the destination by
+        # TPM before resume, so they never miss a write.
+        extra_im = ({f"{IM_TRACKING_NAME}:{host}": bitmap
+                     for host, bitmap in divergence.items()}
+                    if self.multi_host_im else {})
+
+        src_vbd = source.vbd_of(domain.domain_id)
+        migration = ThreePhaseMigration(
+            self.env, domain, source, destination, fwd, rev, cfg,
+            initial_indices=initial_indices, dest_vbd=dest_vbd,
+            workload_name=workload_name, extra_im_bitmaps=extra_im)
+        self.active_migrations[domain.domain_id] = migration
+        try:
+            report = yield from migration.run()
+        finally:
+            self.active_migrations.pop(domain.domain_id, None)
+
+        if report.extra.get("aborted"):
+            # Nothing moved: restore the stale-copy entry an IM attempt
+            # consumed (its divergence bitmap stayed registered; it may
+            # now over-approximate, which only costs retransfers).
+            if dest_vbd is not None:
+                self._stale[stale_key] = dest_vbd
+            self.history.append(report)
+            return report
+
+        # Bookkeeping for the next IM: the disk left on the old source is
+        # now a stale copy.  Without multi-host IM only it stays valid
+        # (paper: IM acts between the primary destination and the source).
+        if not self.multi_host_im:
+            self._stale = {key: vbd for key, vbd in self._stale.items()
+                           if key[0] != domain.domain_id}
+        self._stale[(domain.domain_id, source.name)] = src_vbd
+        self._im_source[domain.domain_id] = source.name
+
+        self.history.append(report)
+        return report
+
+    def abort(self, domain: Domain) -> bool:
+        """Cancel ``domain``'s in-flight migration, if still possible."""
+        migration = self.active_migrations.get(domain.domain_id)
+        if migration is None:
+            return False
+        return migration.request_abort()
+
+    def _collect_divergence(self, domain: Domain, src_driver) -> dict:
+        """Divergence bitmaps living on the current host's driver, keyed by
+        the stale-copy host they diverge from."""
+        divergence: dict = {}
+        previous = self._im_source.get(domain.domain_id)
+        if previous is not None:
+            try:
+                divergence[previous] = src_driver.tracking_bitmap(
+                    IM_TRACKING_NAME)
+            except StorageError:
+                pass
+        if self.multi_host_im:
+            for dom_id, host_name in list(self._stale):
+                if dom_id != domain.domain_id or host_name == previous:
+                    continue
+                try:
+                    divergence[host_name] = src_driver.tracking_bitmap(
+                        f"{IM_TRACKING_NAME}:{host_name}")
+                except StorageError:
+                    pass
+        return divergence
+
+    def migrate_process(self, domain: Domain, destination: Host,
+                        config: Optional[MigrationConfig] = None,
+                        workload_name: str = "unknown") -> "Process":
+        """Spawn :meth:`migrate` as a process; run it with ``env.run``."""
+        return self.env.process(
+            self.migrate(domain, destination, config, workload_name),
+            name=f"migrate:{domain.name}->{destination.name}")
+
+    def has_stale_copy(self, domain: Domain, host: Host) -> bool:
+        """True if ``host`` holds a stale disk copy usable for IM."""
+        return (domain.domain_id, host.name) in self._stale

@@ -1,0 +1,334 @@
+"""Post-copy push-and-pull synchronization (paper §IV-A-3 and Fig. 3).
+
+After the VM resumes on the destination, both machines hold the same
+block-bitmap of still-inconsistent blocks (BM_1 on the source, BM_2 on the
+destination).  The source *pushes* marked blocks continuously so the phase
+finishes in finite time; the destination *pulls* a block only when the
+guest reads it while still dirty.  A guest write to a dirty block
+overwrites it wholesale, so the transfer is cancelled (BM_2 bit cleared)
+and a later pushed copy is dropped on arrival.
+
+The two numbered algorithms of §IV-A-3 map here as follows:
+
+* *request interception* → :meth:`PostCopySynchronizer.intercept`,
+  installed as the destination driver's interceptor;
+* *block reception*      → :meth:`PostCopySynchronizer._receiver`.
+
+One deliberate deviation, documented in DESIGN.md: when a guest write
+clears BM_2 for a block that a queued read is waiting on, we wake that
+read (it can be served from local disk, which now holds newer data).  The
+paper's pseudocode would leave it pending forever, because the later
+pushed copy is dropped without scanning the pending list — a liveness gap
+for overlapping read/write to the same block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from ..bitmap.base import BlockBitmap
+from ..errors import MigrationError
+from ..net.channel import Channel
+from ..net.messages import BlockDataMsg, ControlMsg, PullRequestMsg
+from ..storage.blkback import BackendDriver
+from ..storage.block import IORequest
+from ..storage.disk import PhysicalDisk
+from ..storage.vbd import VirtualBlockDevice
+from .config import MigrationConfig
+from .metrics import PostCopyStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment, Event
+
+#: Wire priority for pull replies: they jump ahead of queued push batches
+#: ("sends the pulled block preferentially").
+PULL_REPLY_PRIORITY = 0
+PUSH_PRIORITY = 5
+
+
+class PostCopySynchronizer:
+    """Drives one migration's post-copy phase on both machines."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        src_disk: PhysicalDisk,
+        src_vbd: VirtualBlockDevice,
+        dst_disk: PhysicalDisk,
+        dst_vbd: VirtualBlockDevice,
+        dst_driver: BackendDriver,
+        fwd_channel: Channel,
+        rev_channel: Channel,
+        source_bitmap: BlockBitmap,
+        transferred_bitmap: BlockBitmap,
+        config: MigrationConfig,
+    ) -> None:
+        self.env = env
+        self.src_disk = src_disk
+        self.src_vbd = src_vbd
+        self.dst_disk = dst_disk
+        self.dst_vbd = dst_vbd
+        self.dst_driver = dst_driver
+        self.fwd = fwd_channel
+        self.rev = rev_channel
+        #: BM_1 — the source's copy; bits cleared as blocks are sent.
+        self.source_bitmap = source_bitmap
+        #: BM_2 — the destination's copy; bits cleared as blocks are
+        #: received or overwritten by guest writes.
+        self.transferred_bitmap = transferred_bitmap
+        self.config = config
+        self.stats = PostCopyStats()
+
+        #: Pending list P: waiters per block number.
+        self._pending: dict[int, list["Event"]] = {}
+        #: Blocks for which a pull request is already outstanding.
+        self._requested: set[int] = set()
+        #: Pull requests received by the source, FIFO.
+        self._pull_queue: deque[int] = deque()
+        #: Set once the destination's bitmap first empties.
+        self._synchronized_at: float | None = None
+        #: Fires when the destination bitmap empties (pull-only termination).
+        self._sync_event = env.event()
+        #: Pusher parking spot while idle in pull-only mode.
+        self._pull_wakeup: "Event | None" = None
+
+    # ------------------------------------------------------------------
+    # orchestration
+    # ------------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Run the phase to completion; returns :class:`PostCopyStats`.
+
+        Installs the destination interceptor for the duration; on return,
+        destination storage is fully synchronized and the source may be
+        shut down (finite dependency, §IV-A-4).
+        """
+        env = self.env
+        self.stats.started_at = env.now
+        self.dst_driver.interceptor = self.intercept
+        self._note_if_synchronized()  # the dirty set may already be empty
+        procs = [
+            env.process(self._receiver(), name="postcopy:recv"),
+            env.process(self._pusher(), name="postcopy:push"),
+            env.process(self._pull_listener(), name="postcopy:pulls"),
+        ]
+        if not self.config.postcopy_push:
+            # Pure pull mode never converges on its own accord; a watcher
+            # ends the phase the moment the destination bitmap empties.
+            procs.append(env.process(self._pull_only_watcher(procs[:2]),
+                                     name="postcopy:watch"))
+        yield env.all_of(procs)
+        self.dst_driver.interceptor = None
+        leftover = self.transferred_bitmap.count()
+        if leftover:
+            raise MigrationError(
+                f"post-copy ended with {leftover} unsynchronized blocks")
+        self.stats.ended_at = (self._synchronized_at
+                               if self._synchronized_at is not None
+                               else env.now)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # destination: request interception (paper's first algorithm)
+    # ------------------------------------------------------------------
+
+    def intercept(self, request: IORequest) -> Generator:
+        """Route one guest request per §IV-A-3.
+
+        Returns True when fully handled here; False to fall through to the
+        driver's direct path (which performs the disk I/O and marks the IM
+        bitmap BM_3 via normal tracking — the pseudocode's line 7).
+        """
+        bitmap = self.transferred_bitmap
+        if request.is_write():
+            # Lines 5-10: a whole-block write supersedes the stale copy.
+            for block in request.blocks():
+                if bitmap.test(block):
+                    bitmap.clear(block)
+                    self._wake(block)  # documented deviation
+            self._note_if_synchronized()
+            return False
+
+        # Lines 11-13: reads pull only still-dirty blocks.
+        dirty = [b for b in request.blocks() if bitmap.test(b)]
+        if not dirty:
+            return False
+
+        self.stats.stalled_reads += 1
+        stall_start = self.env.now
+        waiters = [self._wait_for(b) for b in dirty]
+        for block in dirty:
+            if block not in self._requested:
+                self._requested.add(block)
+                yield from self.rev.send(
+                    PullRequestMsg(block, request.request_id),
+                    category="pull", limited=False)
+        yield self.env.all_of(waiters)
+        self.stats.stall_time += self.env.now - stall_start
+        # Lines 14-15: dequeue and submit to the physical driver.
+        yield from self.dst_driver.serve_direct(request)
+        return True
+
+    def _wait_for(self, block: int) -> "Event":
+        event = self.env.event()
+        self._pending.setdefault(block, []).append(event)
+        return event
+
+    def _wake(self, block: int) -> None:
+        for event in self._pending.pop(block, []):
+            event.succeed()
+
+    def _note_if_synchronized(self) -> None:
+        if self._synchronized_at is None and not self.transferred_bitmap.any():
+            self._synchronized_at = self.env.now
+            if not self._sync_event.triggered:
+                self._sync_event.succeed()
+
+    # ------------------------------------------------------------------
+    # destination: block reception (paper's second algorithm)
+    # ------------------------------------------------------------------
+
+    def _receiver(self) -> Generator:
+        from ..sim import Interrupt
+
+        bitmap = self.transferred_bitmap
+        block_size = self.dst_vbd.block_size
+        while True:
+            try:
+                msg = yield self.fwd.recv()
+            except Interrupt:
+                return  # pull-only watcher ended the phase
+            if isinstance(msg, ControlMsg):
+                if msg.tag == "push-done":
+                    break
+                raise MigrationError(
+                    f"unexpected control message {msg.tag!r} in post-copy")
+            # Lines 2-3: drop blocks a local write has superseded.
+            indices = np.asarray(msg.indices, dtype=np.int64)
+            keep = np.fromiter((bitmap.test(int(b)) for b in indices),
+                               dtype=bool, count=indices.size)
+            dropped = int((~keep).sum())
+            self.stats.dropped_blocks += dropped
+            live = indices[keep]
+            if live.size:
+                # Lines 4-5: update local disk, clear the bitmap.
+                yield from self.dst_disk.write(
+                    int(live.size) * block_size,
+                    priority=self.config.migration_disk_priority)
+                stamps = np.asarray(msg.stamps)[keep]
+                data = msg.data[keep] if msg.data is not None else None
+                self.dst_vbd.import_blocks(live, stamps, data)
+                bitmap.clear_many(live)
+                if msg.pulled:
+                    self.stats.pulled_blocks += int(live.size)
+                else:
+                    self.stats.pushed_blocks += int(live.size)
+                # Lines 6-11: release pending requests waiting on them.
+                for block in live.tolist():
+                    self._wake(block)
+                self._note_if_synchronized()
+        self._note_if_synchronized()
+        if self.transferred_bitmap.any():
+            raise MigrationError(
+                "source finished pushing but destination bitmap is not empty")
+        # Tell the source it may stop listening for pulls: its finite
+        # dependency ends here.
+        yield from self.rev.send(ControlMsg("postcopy-complete"),
+                                 category="control", limited=False)
+
+    # ------------------------------------------------------------------
+    # source: pusher and pull listener
+    # ------------------------------------------------------------------
+
+    def _pusher(self) -> Generator:
+        """Push all BM_1 blocks, serving queued pulls preferentially.
+
+        With ``postcopy_push`` disabled the process only answers pulls,
+        parking between requests; the watcher interrupts it once the
+        destination reports synchronization.
+        """
+        from ..sim import Interrupt
+
+        cfg = self.config
+        bitmap = self.source_bitmap
+        order = bitmap.dirty_indices()
+        position = 0
+        try:
+            while True:
+                if self._pull_queue:
+                    block = self._pull_queue.popleft()
+                    if bitmap.test(block):
+                        yield from self._send_blocks(
+                            np.array([block], dtype=np.int64),
+                            pulled=True, priority=PULL_REPLY_PRIORITY)
+                    continue
+                if not cfg.postcopy_push:
+                    # Nothing to answer: park until the next pull arrives.
+                    self._pull_wakeup = self.env.event()
+                    yield self._pull_wakeup
+                    self._pull_wakeup = None
+                    continue
+                batch: list[int] = []
+                while (position < order.size
+                       and len(batch) < cfg.push_chunk_blocks):
+                    block = int(order[position])
+                    position += 1
+                    if bitmap.test(block):
+                        batch.append(block)
+                if batch:
+                    yield from self._send_blocks(
+                        np.asarray(batch, dtype=np.int64),
+                        pulled=False, priority=PUSH_PRIORITY)
+                elif position >= order.size:
+                    break
+        except Interrupt:
+            return  # pull-only watcher ended the phase
+        yield from self.fwd.send(ControlMsg("push-done"),
+                                 category="control", limited=False)
+
+    def _send_blocks(self, blocks: np.ndarray, pulled: bool,
+                     priority: int) -> Generator:
+        """Read blocks from the (frozen) source disk and send them."""
+        self.source_bitmap.clear_many(blocks)
+        block_size = self.src_vbd.block_size
+        yield from self.src_disk.read(
+            int(blocks.size) * block_size,
+            priority=self.config.migration_disk_priority)
+        stamps, data = self.src_vbd.export_blocks(blocks)
+        msg = BlockDataMsg(blocks, stamps, data, block_size, pulled=pulled)
+        # Post-copy is never throttled: the paper's rate limit applies to
+        # pre-copy only, and a stalled guest read is waiting on this.
+        yield from self.fwd.send(msg, category="disk", limited=False,
+                                 priority=priority)
+
+    def _pull_listener(self) -> Generator:
+        """Source-side: queue incoming pull requests for the pusher."""
+        while True:
+            msg = yield self.rev.recv()
+            if isinstance(msg, ControlMsg) and msg.tag == "postcopy-complete":
+                break
+            if isinstance(msg, PullRequestMsg):
+                self._pull_queue.append(msg.block)
+                if (self._pull_wakeup is not None
+                        and not self._pull_wakeup.triggered):
+                    self._pull_wakeup.succeed()
+            else:
+                raise MigrationError(
+                    f"unexpected message {msg!r} on the pull channel")
+
+    def _pull_only_watcher(self, workers) -> Generator:
+        """Pull-only mode: end the phase once the destination bitmap empties.
+
+        Interrupts the receiver and pusher (which would otherwise wait
+        forever — exactly the unbounded dependency the paper's push
+        avoids) and releases the source's pull listener.
+        """
+        yield self._sync_event
+        for proc in workers:
+            if proc.is_alive:
+                proc.interrupt("postcopy-synchronized")
+        yield from self.rev.send(ControlMsg("postcopy-complete"),
+                                 category="control", limited=False)

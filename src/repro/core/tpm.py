@@ -1,0 +1,331 @@
+"""Three-Phase Migration (TPM) — the paper's core contribution (§IV).
+
+Phases (Fig. 1/2):
+
+1. **Pre-copy** — initialisation (destination prepares a VBD), iterative
+   local-disk pre-copy with block-bitmap tracking, then iterative memory
+   pre-copy (disk first, because the long disk copy would re-dirty any
+   prematurely copied memory).
+2. **Freeze-and-copy** — suspend the VM; ship the final dirty pages, the
+   CPU state, and the block-bitmap itself; move the domain to the
+   destination; resume.  Downtime is exactly this window.
+3. **Post-copy** — resume immediately; the source pushes remaining dirty
+   blocks while the destination pulls on guest reads
+   (:class:`~repro.core.postcopy.PostCopySynchronizer`).
+
+Incremental Migration (§V) is this same class with ``initial_indices``
+set to the IM bitmap's dirty set instead of the whole device, and with
+the destination's existing stale VBD reused instead of a fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from ..bitmap import make_bitmap
+from ..errors import MigrationError
+from ..net.channel import Channel
+from ..net.messages import BitmapMsg, ControlMsg, CPUStateMsg
+from ..storage.vbd import VirtualBlockDevice
+from ..vm.domain import Domain
+from ..vm.host import Host
+from ..vm.memory import GuestMemory
+from .config import MigrationConfig
+from .memcopy import MemoryPreCopier
+from .metrics import MigrationReport
+from .postcopy import PostCopySynchronizer
+from .precopy import TRACKING_NAME, DiskPreCopier
+from .transfer import BlockStreamer, PageStreamer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+#: Tracking-bitmap name for the IM map (BM_3): writes on the destination
+#: after resume, consumed by the next migration back.
+IM_TRACKING_NAME = "im"
+
+
+class ThreePhaseMigration:
+    """One whole-system live migration, source → destination."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        domain: Domain,
+        source: Host,
+        destination: Host,
+        fwd_channel: Channel,
+        rev_channel: Channel,
+        config: Optional[MigrationConfig] = None,
+        initial_indices: Optional[np.ndarray] = None,
+        dest_vbd: Optional[VirtualBlockDevice] = None,
+        workload_name: str = "unknown",
+        extra_im_bitmaps: Optional[dict] = None,
+    ) -> None:
+        self.env = env
+        self.domain = domain
+        self.source = source
+        self.destination = destination
+        self.fwd = fwd_channel
+        self.rev = rev_channel
+        self.config = config if config is not None else MigrationConfig()
+        #: IM: blocks the first iteration must transfer (None = all).
+        self.initial_indices = initial_indices
+        #: IM: reuse this stale VBD on the destination (None = fresh one).
+        self.dest_vbd = dest_vbd
+        self.workload_name = workload_name
+        #: Multi-host IM (the paper's future work, via Migrator): divergence
+        #: bitmaps against *other* stale hosts, re-registered on the
+        #: destination driver before resume so no post-resume write is
+        #: missed.  They stayed registered on the source driver through
+        #: pre-copy, so pre-resume writes are already in them.
+        self.extra_im_bitmaps = extra_im_bitmaps or {}
+        self._abort_requested = False
+        self._committed = False
+        self.report = MigrationReport(
+            scheme="tpm",
+            workload=workload_name,
+            incremental=initial_indices is not None,
+        )
+
+    def request_abort(self) -> bool:
+        """Cancel the migration at the next safe point.
+
+        Cancellation is honoured only during pre-copy: once freeze-and-copy
+        begins the migration is committed (the VM is about to move).
+        Returns True if the request can still take effect.
+        """
+        if self._committed:
+            return False
+        self._abort_requested = True
+        return True
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self.report.extra.get("aborted"))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Execute the migration; returns a :class:`MigrationReport`.
+
+        ``yield from`` inside a process, or wrap with ``env.process``.
+        """
+        env = self.env
+        domain = self.domain
+        cfg = self.config
+        report = self.report
+        report.started_at = env.now
+
+        if domain.host is not self.source:
+            raise MigrationError(
+                f"{domain} is on {domain.host and domain.host.name}, "
+                f"not on source {self.source.name}")
+
+        ledger_before = self._ledger_before = self._ledger_snapshot()
+        src_vbd = self.source.vbd_of(domain.domain_id)
+        src_driver = self.source.driver_of(domain.domain_id)
+
+        # -- initialisation: ask the destination to prepare a VBD ----------
+        yield from self.fwd.send(ControlMsg("prepare-vbd"), category="control",
+                                 limited=False)
+        yield self.fwd.recv()  # destination consumes the request
+        if self.dest_vbd is None:
+            dest_vbd = self.destination.prepare_vbd(
+                src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
+        else:
+            dest_vbd = self.dest_vbd
+            if (dest_vbd.nblocks, dest_vbd.block_size) != (
+                    src_vbd.nblocks, src_vbd.block_size):
+                raise MigrationError(
+                    "stale destination VBD geometry does not match source")
+        yield from self.rev.send(ControlMsg("vbd-ready"), category="control",
+                                 limited=False)
+        yield self.rev.recv()  # source consumes the acknowledgement
+
+        # -- phase 1a: iterative disk pre-copy ----------------------------
+        report.precopy_disk_started_at = env.now
+        block_streamer = BlockStreamer(
+            env, self.source.disk, src_vbd, self.destination.disk, dest_vbd,
+            self.fwd, cfg)
+        initial_indices = self.initial_indices
+        if (initial_indices is None and cfg.guest_aware
+                and self.dest_vbd is None):
+            # Guest-aware first iteration (§VII): never-written blocks are
+            # all-zero on the source and on the fresh destination VBD
+            # alike, so only the allocated set needs to cross the wire.
+            # Only valid against a *fresh* destination — a stale IM copy
+            # may hold old data in blocks that look unallocated here.
+            initial_indices = src_vbd.allocated_indices()
+            report.extra["guest_aware_skipped_blocks"] = int(
+                src_vbd.nblocks - initial_indices.size)
+        precopier = DiskPreCopier(env, src_driver, block_streamer, cfg,
+                                  initial_indices=initial_indices,
+                                  abort_requested=lambda: self._abort_requested)
+        report.disk_iterations = yield from precopier.run()
+        report.precopy_disk_ended_at = env.now
+        if self._abort_requested:
+            return (yield from self._abort(src_driver, memory_logging=False))
+
+        # -- phase 1b: iterative memory pre-copy --------------------------
+        shadow_memory: Optional[GuestMemory] = None
+        report.precopy_mem_started_at = env.now
+        if cfg.include_memory:
+            shadow_memory = GuestMemory(domain.memory.npages,
+                                        domain.memory.page_size,
+                                        clock=domain.memory.clock)
+            page_streamer = PageStreamer(env, domain.memory, shadow_memory,
+                                         self.fwd, cfg)
+            memcopier = MemoryPreCopier(env, domain.memory, page_streamer, cfg)
+            report.mem_rounds = yield from memcopier.run()
+        report.precopy_mem_ended_at = env.now
+        if self._abort_requested:
+            return (yield from self._abort(
+                src_driver, memory_logging=cfg.include_memory))
+
+        # -- phase 2: freeze-and-copy -------------------------------------
+        self._committed = True
+        domain.suspend()
+        report.suspended_at = env.now
+        # Drain guest I/O already queued at the disk so its writes are
+        # applied (and bitmap-tracked) before the final harvest.
+        yield from src_driver.quiesce()
+        if cfg.suspend_overhead > 0:
+            yield env.timeout(cfg.suspend_overhead)
+
+        if cfg.include_memory and shadow_memory is not None:
+            final_dirty = domain.memory.stop_logging()
+            pages = final_dirty.dirty_indices()
+            report.final_dirty_pages = int(pages.size)
+            page_streamer = PageStreamer(env, domain.memory, shadow_memory,
+                                         self.fwd, cfg)
+            yield from page_streamer.stream(pages, category="memory",
+                                            limited=False)
+            yield from self.fwd.send(
+                CPUStateMsg(domain.cpu.state_nbytes), category="cpu",
+                limited=False)
+            yield self.fwd.recv()  # destination receives the CPU state
+            if not shadow_memory.identical_to(domain.memory):
+                raise MigrationError(
+                    "destination memory inconsistent at end of freeze")
+
+        # Harvest the final block-bitmap and ship it (the *only* disk
+        # synchronization data the downtime pays for).
+        final_bitmap = src_driver.stop_tracking(TRACKING_NAME)
+        report.remaining_dirty_blocks = final_bitmap.count()
+        report.bitmap_nbytes = final_bitmap.serialized_nbytes()
+        yield from self.fwd.send(
+            BitmapMsg(final_bitmap.nbits, final_bitmap.dirty_indices(),
+                      final_bitmap.serialized_nbytes()),
+            category="bitmap", limited=False)
+        bitmap_msg = yield self.fwd.recv()  # destination receives BM_2
+
+        # Move the domain: detach from the source, attach on the
+        # destination, adopt the received memory image.
+        self.source.detach_domain(domain.domain_id)
+        dst_driver = self.destination.attach_domain(domain, dest_vbd)
+        if cfg.include_memory and shadow_memory is not None:
+            domain.cpu.restore(domain.cpu.capture())
+            domain.memory = shadow_memory
+
+        # BM_2: the destination's copy of the shipped bitmap;
+        # BM_1: the source keeps `final_bitmap` itself.
+        transferred_bitmap = make_bitmap(bitmap_msg.nbits,
+                                         cfg.bitmap_layout,
+                                         leaf_bits=cfg.leaf_bits)
+        transferred_bitmap.set_many(bitmap_msg.dirty_indices)
+
+        # BM_3: new writes on the destination, for a later IM (§V).
+        if cfg.track_incremental:
+            dst_driver.start_tracking(
+                IM_TRACKING_NAME,
+                make_bitmap(dest_vbd.nblocks, cfg.bitmap_layout,
+                            leaf_bits=cfg.leaf_bits))
+            for name, bitmap in self.extra_im_bitmaps.items():
+                dst_driver.start_tracking(name, bitmap)
+
+        synchronizer = PostCopySynchronizer(
+            env, self.source.disk, src_vbd, self.destination.disk, dest_vbd,
+            dst_driver, self.fwd, self.rev,
+            source_bitmap=final_bitmap,
+            transferred_bitmap=transferred_bitmap,
+            config=cfg)
+        # The interceptor must be live *before* the first guest request.
+        dst_driver.interceptor = synchronizer.intercept
+
+        if cfg.resume_overhead > 0:
+            yield env.timeout(cfg.resume_overhead)
+        domain.resume()
+        report.resumed_at = env.now
+
+        # -- phase 3: post-copy push-and-pull -----------------------------
+        report.postcopy = yield from synchronizer.run()
+        report.ended_at = report.postcopy.ended_at
+
+        # -- wire accounting & verification --------------------------------
+        report.bytes_by_category = self._ledger_delta(ledger_before)
+        if cfg.verify_consistency:
+            # A guest write may have cancelled a transfer (clearing BM_2,
+            # so the pushed copy was dropped) while its own disk apply is
+            # still in flight.  Such a block looks inconsistent until the
+            # apply lands (at which point the IM bitmap explains it), so
+            # retry briefly rather than quiescing — a zero-think-time
+            # guest never drains, but these transients always resolve.
+            for _attempt in range(200):
+                unexplained = self._unexplained_diff(src_vbd, dest_vbd,
+                                                     dst_driver)
+                if unexplained.size == 0:
+                    break
+                yield env.timeout(5e-3)
+            else:
+                raise MigrationError(
+                    f"{unexplained.size} blocks inconsistent after "
+                    f"migration; first: {unexplained[:10].tolist()}")
+            report.consistency_verified = True
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _abort(self, src_driver, memory_logging: bool) -> Generator:
+        """Tear the migration down with the domain untouched on the source.
+
+        Write tracking stops, the destination is told to discard the
+        partial copy, and the report is stamped as aborted.  The guest
+        never noticed anything.
+        """
+        report = self.report
+        src_driver.stop_tracking(TRACKING_NAME)
+        if memory_logging and self.domain.memory.logging:
+            self.domain.memory.stop_logging()
+        yield from self.fwd.send(ControlMsg("migration-aborted"),
+                                 category="control", limited=False)
+        yield self.fwd.recv()  # destination acknowledges and discards
+        report.extra["aborted"] = True
+        report.ended_at = self.env.now
+        report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        return report
+
+    def _ledger_snapshot(self) -> dict[str, int]:
+        snap = dict(self.fwd.bytes_by_category)
+        for key, val in self.rev.bytes_by_category.items():
+            snap[key] = snap.get(key, 0) + val
+        return snap
+
+    def _ledger_delta(self, before: dict[str, int]) -> dict[str, int]:
+        after = self._ledger_snapshot()
+        return {k: after[k] - before.get(k, 0) for k in after
+                if after[k] - before.get(k, 0) > 0}
+
+    def _unexplained_diff(self, src_vbd: VirtualBlockDevice,
+                          dest_vbd: VirtualBlockDevice, dst_driver):
+        """Blocks that differ between the disks *without* a recorded guest
+        write explaining them.  Must be empty for a consistent migration
+        (destination may legitimately diverge only where BM_3 marks)."""
+        diff = src_vbd.diff_blocks(dest_vbd)
+        if diff.size == 0 or not self.config.track_incremental:
+            return diff
+        im_bitmap = dst_driver.tracking_bitmap(IM_TRACKING_NAME)
+        overwritten = im_bitmap.to_bool_array()
+        return diff[~overwritten[diff]]

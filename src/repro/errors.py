@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class StaleSchedulingError(SimulationError):
+    """Raised when an event is scheduled into the simulated past."""
+
+
+class BitmapError(ReproError):
+    """Raised for invalid block-bitmap operations (bad index, size mismatch)."""
+
+
+class StorageError(ReproError):
+    """Raised for invalid virtual-block-device operations."""
+
+
+class ConsistencyError(StorageError):
+    """Raised when a consistency check between two disks (or a disk and its
+    expected contents) fails.  A migration that completes and still raises
+    this indicates an algorithmic bug, never a tolerable condition."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network-channel operations."""
+
+
+class MigrationError(ReproError):
+    """Raised when a migration cannot proceed (bad configuration, source and
+    destination disagree about geometry, VM in the wrong lifecycle state)."""
+
+
+class MigrationAborted(MigrationError):
+    """Raised when a migration is proactively aborted, e.g. because the
+    storage dirty rate exceeds the transfer rate for too many iterations."""

@@ -1,0 +1,38 @@
+"""Network substrate: links, rate limiting, and typed migration channels."""
+
+from .channel import Channel, channel_pair
+from .compression import Compressor
+from .link import DuplexLink, Link
+from .messages import (
+    HEADER_NBYTES,
+    BitmapMsg,
+    BlockDataMsg,
+    ControlMsg,
+    CPUStateMsg,
+    DeltaMsg,
+    MemoryPagesMsg,
+    Message,
+    PhaseMark,
+    PullRequestMsg,
+)
+from .ratelimit import NullLimiter, TokenBucket
+
+__all__ = [
+    "BitmapMsg",
+    "BlockDataMsg",
+    "CPUStateMsg",
+    "Channel",
+    "Compressor",
+    "ControlMsg",
+    "DeltaMsg",
+    "DuplexLink",
+    "HEADER_NBYTES",
+    "Link",
+    "MemoryPagesMsg",
+    "Message",
+    "NullLimiter",
+    "PhaseMark",
+    "PullRequestMsg",
+    "TokenBucket",
+    "channel_pair",
+]

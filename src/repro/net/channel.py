@@ -1,0 +1,143 @@
+"""Typed message channel between two machines.
+
+A :class:`Channel` is one direction of the migration control/data path:
+messages are paced by an optional rate limiter, serialized onto the link,
+delivered after the propagation latency into the receiver's mailbox, and
+accounted against a per-category byte ledger (disk / memory / bitmap /
+pull / control ...) so the "amount of migrated data" metric can be broken
+down exactly as the paper reports it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Generator, Optional, Union
+
+from ..errors import NetworkError
+from ..sim import Event, Store
+from .link import Link
+from .messages import Message
+from .ratelimit import NullLimiter, TokenBucket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+Limiter = Union[TokenBucket, NullLimiter]
+
+
+class Channel:
+    """One direction of a reliable, ordered message pipe."""
+
+    #: Messages smaller than this are sent uncompressed (headers, pulls,
+    #: control traffic): the codec setup cost is not worth it.
+    COMPRESS_THRESHOLD = 4096
+
+    def __init__(
+        self,
+        env: "Environment",
+        link: Link,
+        limiter: Optional[Limiter] = None,
+        name: str = "chan",
+        compressor=None,
+    ) -> None:
+        self.env = env
+        self.link = link
+        self.limiter: Limiter = limiter if limiter is not None else NullLimiter()
+        self.name = name
+        #: Optional :class:`~repro.net.compression.Compressor` applied to
+        #: bulk payloads (paper §III-A's size-reduction suggestion).
+        self.compressor = compressor
+        self._mailbox: Store = Store(env)
+        #: Byte ledger: category -> wire bytes sent.
+        self.bytes_by_category: dict[str, int] = defaultdict(int)
+        self.messages_sent = 0
+        #: Payload bytes saved by compression (pre-wire minus on-wire).
+        self.bytes_saved = 0
+        #: Earliest time the next delivery may happen: deliveries are FIFO
+        #: even when decompression gives messages different pipe delays.
+        self._delivery_floor = 0.0
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, message: Message, category: str = "control",
+             priority: int = 0, limited: bool = True) -> Generator:
+        """Transmit ``message``; ``yield from`` inside a process.
+
+        Returns when the last byte is on the wire.  Delivery into the remote
+        mailbox happens :attr:`Link.latency` later, preserving send order.
+        ``limited=False`` bypasses the rate limiter (e.g. the tiny control
+        handshakes, or post-copy traffic when only pre-copy is throttled).
+        """
+        if not isinstance(message, Message):
+            raise NetworkError(f"cannot send non-Message {message!r}")
+        payload = message.payload_nbytes
+        decompress = 0.0
+        if (self.compressor is not None
+                and payload >= self.COMPRESS_THRESHOLD):
+            yield self.env.timeout(self.compressor.compress_time(payload))
+            wire_payload = self.compressor.wire_nbytes(payload)
+            decompress = self.compressor.decompress_time(payload)
+            self.bytes_saved += payload - wire_payload
+            nbytes = wire_payload + (message.wire_nbytes - payload)
+        else:
+            nbytes = message.wire_nbytes
+        if limited:
+            yield from self.limiter.consume(nbytes)
+        yield from self.link.transmit(nbytes, priority=priority)
+        self.bytes_by_category[category] += nbytes
+        self.messages_sent += 1
+        self.env.process(self._deliver(message, decompress),
+                         name=f"{self.name}:deliver")
+
+    def _deliver(self, message: Message, decompress_time: float = 0.0
+                 ) -> Generator:
+        arrival = self.env.now + self.link.latency + decompress_time
+        # A small fast message must not overtake a large one still being
+        # decompressed: clamp to the previous message's arrival.
+        arrival = max(arrival, self._delivery_floor)
+        self._delivery_floor = arrival
+        if arrival > self.env.now:
+            yield self.env.timeout(arrival - self.env.now)
+        yield self._mailbox.put(message)
+
+    # -- receiving -------------------------------------------------------
+
+    def recv(self) -> Event:
+        """Event that fires with the next delivered message (``yield`` it)."""
+        return self._mailbox.get()
+
+    @property
+    def pending(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._mailbox)
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """All wire bytes sent on this channel, headers included."""
+        return sum(self.bytes_by_category.values())
+
+    def ledger(self) -> dict[str, int]:
+        """A copy of the per-category byte ledger."""
+        return dict(self.bytes_by_category)
+
+    def __repr__(self) -> str:
+        return f"<Channel {self.name!r} {self.total_bytes} B sent>"
+
+
+def channel_pair(
+    env: "Environment",
+    forward_link: Link,
+    backward_link: Link,
+    limiter: Optional[Limiter] = None,
+    name: str = "mig",
+) -> tuple[Channel, Channel]:
+    """Build the (source→dest, dest→source) channel pair for a migration.
+
+    Only the forward (bulk data) direction is rate-limited; the backward
+    direction carries small pull requests and acks.
+    """
+    fwd = Channel(env, forward_link, limiter=limiter, name=f"{name}:s->d")
+    rev = Channel(env, backward_link, limiter=None, name=f"{name}:d->s")
+    return fwd, rev

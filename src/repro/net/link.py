@@ -1,0 +1,93 @@
+"""Point-to-point network link model.
+
+One :class:`Link` is a single transmission direction with a serialization
+resource (one frame on the wire at a time), a line rate, and a propagation
+latency.  A :class:`DuplexLink` bundles the two directions of a full-duplex
+Ethernet connection — migration data flows source→destination while pull
+requests flow destination→source without contending with it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..errors import NetworkError
+from ..sim import Resource
+from ..units import Gbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class Link:
+    """One direction of a network path."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth: float = 1 * Gbps,
+        latency: float = 100e-6,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise NetworkError(f"latency cannot be negative, got {latency}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.name = name
+        self._wire = Resource(env, capacity=1)
+        self.bytes_sent = 0
+        self.busy_time = 0.0
+
+    def transmission_time(self, nbytes: int) -> float:
+        """Serialization delay for ``nbytes`` at line rate."""
+        return nbytes / self.bandwidth
+
+    def transmit(self, nbytes: int, priority: int = 0) -> Generator:
+        """Occupy the wire for ``nbytes``; ``yield from`` inside a process.
+
+        Returns once the last byte is on the wire — add :attr:`latency`
+        before the receiver may see it (the channel does this).  ``priority``
+        lets urgent traffic (pulled blocks) jump the queue.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative transmit size {nbytes}")
+        with self._wire.request(priority=priority) as grant:
+            yield grant
+            duration = self.transmission_time(nbytes)
+            yield self.env.timeout(duration)
+            self.busy_time += duration
+        self.bytes_sent += nbytes
+
+    @property
+    def queue_length(self) -> int:
+        return self._wire.queue_length
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.name!r} {self.bandwidth / Gbps:.2f} Gbps "
+                f"lat={self.latency * 1e6:.0f} µs>")
+
+
+class DuplexLink:
+    """A full-duplex connection between two machines."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth: float = 1 * Gbps,
+        latency: float = 100e-6,
+        name: str = "lan",
+    ) -> None:
+        self.forward = Link(env, bandwidth, latency, name=f"{name}:fwd")
+        self.backward = Link(env, bandwidth, latency, name=f"{name}:rev")
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.forward.bytes_sent + self.backward.bytes_sent

@@ -1,0 +1,138 @@
+"""The discrete-event simulation environment (event loop)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from ..errors import SimulationError, StaleSchedulingError
+from .events import AllOf, AnyOf, Event, Timeout, NORMAL
+from .process import Process, ProcessGenerator
+
+
+class Environment:
+    """Owns simulated time and the pending-event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        #: Heap of (time, priority, sequence, event).
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise StaleSchedulingError(
+                f"cannot schedule {event!r} {delay!r}s into the past")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events to process") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it rather than losing it.
+            if isinstance(event._value, BaseException):
+                raise event._value
+            raise SimulationError(f"unhandled event failure: {event._value!r}")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Drive the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if not stop_event._ok:
+                    raise stop_event.value
+                return stop_event.value
+            done = {"flag": False}
+            stop_event.callbacks.append(lambda _e: done.__setitem__("flag", True))
+            while not done["flag"]:
+                if not self._queue:
+                    raise SimulationError(
+                        f"run(until={stop_event!r}) but the event queue drained first")
+                self.step()
+            if not stop_event._ok:
+                stop_event.defuse()
+                raise stop_event.value
+            return stop_event.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise StaleSchedulingError(
+                f"cannot run until {horizon!r}; clock is already at {self._now!r}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,49 @@
+"""Size and time units used throughout the library.
+
+All sizes are in **bytes** (plain ``int``) and all simulated times are in
+**seconds** (plain ``float``) unless a name explicitly says otherwise.
+These constants exist so that call sites read like the paper:
+``40 * GiB``, ``4 * KiB`` blocks, ``Gbps`` links.
+"""
+
+from __future__ import annotations
+
+#: Binary size units (bytes).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal size units (bytes) — used for network line rates.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+#: Network rates expressed as bytes/second.
+Mbps = 1000 * 1000 / 8.0
+Gbps = 1000 * Mbps
+
+#: The paper's canonical geometry.
+SECTOR_SIZE = 512          #: physical sector size (bytes)
+BLOCK_SIZE = 4 * KiB       #: default bit granularity: one 4 KiB block per bit
+PAGE_SIZE = 4 * KiB        #: guest memory page size (bytes)
+
+#: Time units (seconds).
+MS = 1e-3
+US = 1e-6
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable binary suffix."""
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {name}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(t: float) -> str:
+    """Render a duration in the most natural unit (s / ms / µs)."""
+    if abs(t) >= 1.0:
+        return f"{t:.1f} s"
+    if abs(t) >= MS:
+        return f"{t / MS:.1f} ms"
+    return f"{t / US:.1f} µs"

@@ -1,0 +1,15 @@
+"""Virtual machine substrate: CPU state, guest memory, domains, and hosts."""
+
+from .cpu import CPUState
+from .domain import Domain, DomainState
+from .host import Host, make_testbed
+from .memory import GuestMemory
+
+__all__ = [
+    "CPUState",
+    "Domain",
+    "DomainState",
+    "GuestMemory",
+    "Host",
+    "make_testbed",
+]

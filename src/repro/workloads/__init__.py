@@ -1,0 +1,46 @@
+"""Guest workloads used to evaluate migration (paper §VI-B).
+
+The paper's three evaluation workloads — a dynamic web server (SPECweb
+banking), a low-latency video stream server, and a diabolical I/O server
+(Bonnie++) — plus a kernel build for the write-locality study and an idle
+guest for overhead baselines.
+"""
+
+from .base import IdleWorkload, Workload
+from .diabolical import BonniePlusPlus, default_bonnie_memory
+from .iomodel import (
+    AddressModel,
+    FreshAppendModel,
+    HotspotModel,
+    MemoryDirtier,
+    SequentialModel,
+    UniformModel,
+    ZipfModel,
+)
+from .kernelbuild import KernelBuild, default_kernelbuild_memory
+from .streaming import VideoStreamServer, default_video_memory
+from .traces import IOTrace, TraceRecorder, TraceReplay
+from .webserver import SpecWebBanking, default_specweb_memory
+
+__all__ = [
+    "AddressModel",
+    "BonniePlusPlus",
+    "FreshAppendModel",
+    "HotspotModel",
+    "IOTrace",
+    "IdleWorkload",
+    "KernelBuild",
+    "TraceRecorder",
+    "TraceReplay",
+    "MemoryDirtier",
+    "SequentialModel",
+    "SpecWebBanking",
+    "UniformModel",
+    "VideoStreamServer",
+    "Workload",
+    "ZipfModel",
+    "default_bonnie_memory",
+    "default_kernelbuild_memory",
+    "default_specweb_memory",
+    "default_video_memory",
+]

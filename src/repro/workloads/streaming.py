@@ -1,0 +1,91 @@
+"""Low-latency video streaming server (paper §VI-C-2).
+
+A Samba share serves a ~210 MB video to one client at under 500 kbit/s.
+The access pattern is a slow sequential read with a rare log write — the
+write rate is so low that only two pre-copy iterations are needed and a
+handful of blocks reach post-copy.  The interesting metric is *latency*:
+playback is fluent iff every read completes well before the player's
+buffer drains, which this workload records per read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..units import KiB
+from .base import Workload
+from .iomodel import FreshAppendModel, MemoryDirtier, SequentialModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class VideoStreamServer(Workload):
+    """Streams a video file sequentially at a fixed bit rate."""
+
+    name = "video"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        #: Client consumption rate in bytes/second (< 500 kbit/s).
+        stream_rate: float = 60 * KiB,
+        #: Bytes fetched per read (player buffer refill).
+        read_chunk: int = 64 * KiB,
+        #: Seconds between access-log writes.
+        log_interval: float = 1.3,
+        #: Video file location (blocks).
+        video_region: tuple[int, int] = (100_000, 53_760),  # ~210 MiB
+        #: Log file location (blocks).
+        log_region: tuple[int, int] = (4_000_000, 4_096),
+        memory_dirtier: MemoryDirtier | None = None,
+        #: Playback stalls if a read takes longer than this (player buffer).
+        stall_threshold: float = 2.0,
+    ) -> None:
+        super().__init__(seed)
+        self.stream_rate = stream_rate
+        self.read_chunk = read_chunk
+        self.log_interval = log_interval
+        self.stall_threshold = stall_threshold
+        self.video = SequentialModel(video_region[0], video_region[1],
+                                     extent_blocks=max(read_chunk // (4 * KiB), 1))
+        self.log = FreshAppendModel(log_region[0], log_region[1],
+                                    extent_blocks=1, rewrite_prob=0.05)
+        self.memory = memory_dirtier
+        #: Reads that exceeded the stall threshold (observable glitches).
+        self.stalls = 0
+
+    def run(self, env: "Environment") -> Generator:
+        rng = self.rng
+        next_log = env.now + self.log_interval
+        period = self.read_chunk / self.stream_rate
+        while True:
+            yield from self.domain.ensure_running()
+            start = env.now
+
+            first, nblocks = self.video.next_extent(rng)
+            yield from self.read(first, nblocks)
+            yield from self.serve_network(self.read_chunk)
+            latency = env.now - start
+            self.record("read_latency", latency)
+            if latency > self.stall_threshold:
+                self.stalls += 1
+            self.account(self.read_chunk)
+
+            if env.now >= next_log:
+                lf, ln = self.log.next_extent(rng)
+                yield from self.write(lf, ln)
+                next_log = env.now + self.log_interval
+
+            if self.memory is not None:
+                yield from self.dirty_memory(self.memory, period)
+
+            elapsed = env.now - start
+            if elapsed < period:
+                yield env.timeout(period - elapsed)
+
+
+def default_video_memory(npages: int = 131_072) -> MemoryDirtier:
+    """A streaming server dirties little memory (buffers only)."""
+    return MemoryDirtier(npages, wss_pages=1_500, pages_per_second=400.0,
+                         hot_prob=0.95)

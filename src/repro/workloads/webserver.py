@@ -1,0 +1,105 @@
+"""SPECweb2005-Banking-style dynamic web server (paper §VI-C-1, Fig. 5).
+
+The banking workload serves dynamic pages to a fixed population of
+connections.  Responses are built mostly from memory (page cache, session
+state), so service throughput is largely insensitive to disk contention —
+that is why the paper's Figure 5 shows no visible dip during migration.
+What the disk *does* see is a steady trickle of session/log writes "in
+bursts", with about 25.2 % of write operations rewriting previously
+written blocks (§IV-A-2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..units import KiB, MiB
+from .base import Workload
+from .iomodel import FreshAppendModel, MemoryDirtier, UniformModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class SpecWebBanking(Workload):
+    """Closed population of banking clients against one VM."""
+
+    name = "specweb"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        connections: int = 100,
+        requests_per_second: float = 600.0,
+        mean_response_bytes: int = 120 * KiB,
+        #: Fraction of response bytes that miss the page cache and hit disk.
+        disk_read_fraction: float = 0.02,
+        #: Average session/log write operations per second (bursty).
+        write_ops_per_second: float = 2.5,
+        write_blocks_per_op: int = 4,
+        rewrite_prob: float = 0.252,
+        #: Disk region holding site data (blocks).
+        data_region: tuple[int, int] = (0, 2_000_000),
+        #: Disk region receiving session/log writes (blocks).
+        log_region: tuple[int, int] = (2_000_000, 120_000),
+        tick: float = 0.1,
+        memory_dirtier: MemoryDirtier | None = None,
+    ) -> None:
+        super().__init__(seed)
+        self.connections = connections
+        self.requests_per_second = requests_per_second
+        self.mean_response_bytes = mean_response_bytes
+        self.disk_read_fraction = disk_read_fraction
+        self.write_ops_per_second = write_ops_per_second
+        self.write_blocks_per_op = write_blocks_per_op
+        self.tick = tick
+        self.reads = UniformModel(data_region[0], data_region[1],
+                                  extent_blocks=16)
+        self.writes = FreshAppendModel(
+            log_region[0], log_region[1],
+            extent_blocks=write_blocks_per_op,
+            rewrite_prob=rewrite_prob)
+        self.memory = memory_dirtier
+
+    def run(self, env: "Environment") -> Generator:
+        rng = self.rng
+        while True:
+            yield from self.domain.ensure_running()
+            tick_start = env.now
+
+            # Serve this tick's requests: response bytes come from memory;
+            # a small fraction misses the cache and reads the disk.
+            nreq = rng.poisson(self.requests_per_second * self.tick)
+            response_bytes = int(nreq * self.mean_response_bytes
+                                 * rng.lognormal(0.0, 0.15))
+            miss_bytes = int(response_bytes * self.disk_read_fraction)
+            block_size = self.domain.vbd.block_size
+            while miss_bytes > 0:
+                first, nblocks = self.reads.next_extent(rng)
+                yield from self.read(first, nblocks)
+                miss_bytes -= nblocks * block_size
+
+            # Ship the responses to the clients (NIC contention, if any).
+            yield from self.serve_network(response_bytes)
+
+            # Bursty session/log writes.
+            nwrites = rng.poisson(self.write_ops_per_second * self.tick)
+            for _ in range(nwrites):
+                first, nblocks = self.writes.next_extent(rng)
+                yield from self.write(first, nblocks)
+
+            if self.memory is not None:
+                yield from self.dirty_memory(self.memory, self.tick)
+
+            self.account(response_bytes)
+            # Close the loop: whatever part of the tick the I/O did not
+            # consume is CPU/idle time.
+            elapsed = env.now - tick_start
+            if elapsed < self.tick:
+                yield env.timeout(self.tick - elapsed)
+
+
+def default_specweb_memory(npages: int = 131_072) -> MemoryDirtier:
+    """Memory dirtying typical of a busy dynamic web server on 512 MiB."""
+    return MemoryDirtier(npages, wss_pages=6_000, pages_per_second=2_500.0,
+                         hot_prob=0.9)

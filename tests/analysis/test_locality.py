@@ -1,0 +1,79 @@
+"""Unit tests for the write-locality tracker."""
+
+import pytest
+
+from repro.analysis import WriteLocalityTracker, attach_tracker
+from repro.storage import write
+
+
+class TestTracker:
+    def test_all_fresh_writes(self):
+        tracker = WriteLocalityTracker(100)
+        for b in range(10):
+            tracker(write(b))
+        stats = tracker.stats()
+        assert stats.write_ops == 10
+        assert stats.rewrite_ops == 0
+        assert stats.op_rewrite_fraction == 0.0
+
+    def test_rewrites_counted(self):
+        tracker = WriteLocalityTracker(100)
+        tracker(write(5))
+        tracker(write(5))
+        tracker(write(6))
+        stats = tracker.stats()
+        assert stats.write_ops == 3
+        assert stats.rewrite_ops == 1
+        assert stats.op_rewrite_fraction == pytest.approx(1 / 3)
+
+    def test_partial_overlap_is_a_rewrite_op(self):
+        tracker = WriteLocalityTracker(100)
+        tracker(write(0, 4))
+        tracker(write(3, 4))  # block 3 overlaps
+        stats = tracker.stats()
+        assert stats.rewrite_ops == 1
+        assert stats.blocks_rewritten == 1
+        assert stats.blocks_written == 8
+
+    def test_block_level_fraction(self):
+        tracker = WriteLocalityTracker(100)
+        tracker(write(0, 4))
+        tracker(write(0, 4))
+        stats = tracker.stats()
+        assert stats.block_rewrite_fraction == pytest.approx(0.5)
+        assert stats.delta_redundancy_blocks == 4
+
+    def test_reset_full(self):
+        tracker = WriteLocalityTracker(100)
+        tracker(write(1))
+        tracker.reset()
+        tracker(write(1))
+        assert tracker.stats().rewrite_ops == 0
+
+    def test_reset_counters_only_keeps_history(self):
+        tracker = WriteLocalityTracker(100)
+        tracker(write(1))
+        tracker.reset(counters_only=True)
+        tracker(write(1))
+        stats = tracker.stats()
+        assert stats.write_ops == 1
+        assert stats.rewrite_ops == 1  # history remembered block 1
+
+    def test_empty_stats(self):
+        stats = WriteLocalityTracker(10).stats()
+        assert stats.op_rewrite_fraction == 0.0
+        assert stats.block_rewrite_fraction == 0.0
+
+
+class TestAttach:
+    def test_attach_observes_driver_writes(self, bed):
+        driver = bed.source.driver_of(bed.domain.domain_id)
+        tracker = attach_tracker(driver)
+
+        def guest(env):
+            yield from bed.domain.write(3)
+            yield from bed.domain.write(3)
+
+        bed.env.run(until=bed.env.process(guest(bed.env)))
+        assert tracker.stats().write_ops == 2
+        assert tracker.stats().rewrite_ops == 1

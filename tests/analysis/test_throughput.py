@@ -1,0 +1,86 @@
+"""Unit tests for throughput-derived metrics."""
+
+import pytest
+
+from repro.analysis import (
+    disruption_time,
+    mean_rate,
+    performance_overhead,
+    stall_free,
+)
+from repro.sim import Environment, Timeline
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline(Environment())
+    # 100 B/s for t in [0, 10), then degraded 40 B/s for [10, 20),
+    # then recovered for [20, 30).
+    for t in range(10):
+        tl.record_at("x", t + 0.5, 100)
+    for t in range(10, 20):
+        tl.record_at("x", t + 0.5, 40)
+    for t in range(20, 30):
+        tl.record_at("x", t + 0.5, 100)
+    return tl
+
+
+class TestMeanRate:
+    def test_windowed(self, timeline):
+        assert mean_rate(timeline, "x", 0, 10) == pytest.approx(100.0)
+        assert mean_rate(timeline, "x", 10, 20) == pytest.approx(40.0)
+
+    def test_empty_series(self, timeline):
+        assert mean_rate(timeline, "missing", 0, 10) == 0.0
+
+    def test_degenerate_window(self, timeline):
+        assert mean_rate(timeline, "x", 5, 5) == 0.0
+
+
+class TestOverhead:
+    def test_overhead_fraction(self, timeline):
+        result = performance_overhead(timeline, "x",
+                                      migration_window=(10, 20),
+                                      baseline_window=(0, 10))
+        assert result.relative_throughput == pytest.approx(0.4)
+        assert result.overhead_fraction == pytest.approx(0.6)
+
+    def test_no_impact(self, timeline):
+        result = performance_overhead(timeline, "x",
+                                      migration_window=(20, 30),
+                                      baseline_window=(0, 10))
+        assert result.overhead_fraction == pytest.approx(0.0)
+
+    def test_zero_baseline(self, timeline):
+        result = performance_overhead(timeline, "missing", (0, 1), (1, 2))
+        assert result.relative_throughput == 1.0
+
+
+class TestDisruption:
+    def test_counts_degraded_seconds(self, timeline):
+        degraded = disruption_time(timeline, "x", window=(0, 30),
+                                   baseline_rate=100.0, threshold=0.9)
+        assert degraded == pytest.approx(10.0)
+
+    def test_no_disruption(self, timeline):
+        assert disruption_time(timeline, "x", window=(0, 10),
+                               baseline_rate=100.0) == 0.0
+
+    def test_empty_series_counts_whole_window(self, timeline):
+        assert disruption_time(timeline, "missing", window=(0, 5),
+                               baseline_rate=100.0) == 5.0
+
+    def test_zero_baseline(self, timeline):
+        assert disruption_time(timeline, "x", (0, 10), 0.0) == 0.0
+
+
+class TestStallFree:
+    def test_all_below_threshold(self, timeline):
+        assert stall_free(timeline, "x", (0, 30), threshold=200)
+
+    def test_spike_detected(self, timeline):
+        timeline.record_at("x", 15.0, 500)
+        assert not stall_free(timeline, "x", (0, 30), threshold=200)
+
+    def test_empty_series_is_stall_free(self, timeline):
+        assert stall_free(timeline, "missing", (0, 30), threshold=1)

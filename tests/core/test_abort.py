@@ -1,0 +1,106 @@
+"""Tests for migration cancellation (abort during pre-copy)."""
+
+import pytest
+
+from repro.core import IM_TRACKING_NAME, TRACKING_NAME
+
+
+class TestAbort:
+    def test_abort_during_disk_precopy(self, bed):
+        bed.random_writer(region=(0, 300), interval=0.005)
+
+        def aborter(env):
+            yield env.timeout(0.05)  # mid disk pre-copy
+            assert bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        report = bed.migrate()
+        assert report.extra["aborted"] is True
+        # The domain never moved and never stopped.
+        assert bed.domain.host is bed.source
+        assert bed.domain.running
+        assert report.suspended_at == 0.0  # freeze never happened
+
+    def test_abort_cleans_up_tracking(self, bed):
+        def aborter(env):
+            yield env.timeout(0.05)
+            bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        bed.migrate()
+        driver = bed.source.driver_of(bed.domain.domain_id)
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            driver.tracking_bitmap(TRACKING_NAME)
+
+    def test_workload_unaffected_by_abort(self, bed):
+        bed.random_writer(region=(0, 300), interval=0.005)
+
+        def aborter(env):
+            yield env.timeout(0.05)
+            bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        bed.migrate()
+        writes_before = bed.source.driver_of(bed.domain.domain_id).writes
+        bed.env.run(until=bed.env.now + 0.5)
+        assert bed.source.driver_of(
+            bed.domain.domain_id).writes > writes_before
+
+    def test_retry_after_abort_succeeds(self, bed):
+        def aborter(env):
+            yield env.timeout(0.05)
+            bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        first = bed.migrate()
+        assert first.extra.get("aborted")
+        second = bed.migrate()
+        assert not second.extra.get("aborted")
+        assert second.consistency_verified
+        assert bed.domain.host is bed.destination
+
+    def test_abort_too_late_is_refused(self, bed):
+        outcome = {}
+
+        def aborter(env):
+            # Wait until the migration is clearly past the freeze.
+            while bed.domain.host is bed.source:
+                yield env.timeout(0.01)
+            outcome["accepted"] = bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        report = bed.migrate()
+        assert not report.extra.get("aborted")
+        assert outcome.get("accepted") in (False, None)
+
+    def test_abort_without_active_migration(self, bed):
+        assert bed.migrator.abort(bed.domain) is False
+
+    def test_aborted_im_attempt_preserves_stale_copy(self, bed):
+        bed.random_writer(region=(0, 300), interval=0.005)
+        bed.migrate()  # primary: source -> destination
+        bed.env.run(until=bed.env.now + 0.5)
+
+        def aborter(env):
+            yield env.timeout(0.01)
+            bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        aborted = bed.migrate()  # IM attempt back, cancelled
+        assert aborted.extra.get("aborted")
+        assert bed.domain.host is bed.destination
+        # The stale copy survives; a later retry is still incremental.
+        retry = bed.migrate()
+        assert retry.incremental
+        assert retry.consistency_verified
+
+    def test_aborted_report_counts_transferred_bytes(self, bed):
+        def aborter(env):
+            yield env.timeout(0.05)
+            bed.migrator.abort(bed.domain)
+
+        bed.env.process(aborter(bed.env))
+        report = bed.migrate()
+        assert report.migrated_bytes > 0  # partial pre-copy was paid for

@@ -1,0 +1,53 @@
+"""Unit tests for MigrationConfig validation."""
+
+import pytest
+
+from repro.core import MigrationConfig
+from repro.errors import MigrationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = MigrationConfig()
+        assert cfg.bitmap_layout == "flat"
+        assert cfg.include_memory
+        assert cfg.rate_limit is None
+
+    def test_unknown_bitmap_layout(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(bitmap_layout="tree")
+
+    def test_chunk_blocks_positive(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(chunk_blocks=0)
+
+    def test_iterations_positive(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(max_disk_iterations=0)
+        with pytest.raises(MigrationError):
+            MigrationConfig(max_mem_rounds=0)
+
+    def test_rate_limit_positive_when_set(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(rate_limit=0)
+        MigrationConfig(rate_limit=1000)  # fine
+
+    def test_push_chunk_positive(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(push_chunk_blocks=0)
+
+    def test_dirty_rate_fraction_positive(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(dirty_rate_stop_fraction=0)
+
+
+class TestReplace:
+    def test_replace_returns_modified_copy(self):
+        cfg = MigrationConfig()
+        limited = cfg.replace(rate_limit=1e6)
+        assert limited.rate_limit == 1e6
+        assert cfg.rate_limit is None
+
+    def test_replace_validates(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig().replace(chunk_blocks=-1)

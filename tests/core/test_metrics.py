@@ -1,0 +1,77 @@
+"""Unit tests for migration metrics and report arithmetic."""
+
+import pytest
+
+from repro.core import IterationStats, MigrationReport, PostCopyStats
+
+
+class TestIterationStats:
+    def test_duration_and_rates(self):
+        it = IterationStats(index=1, units_sent=1000, bytes_sent=4096000,
+                            started_at=10.0, ended_at=20.0, dirty_at_end=100)
+        assert it.duration == 10.0
+        assert it.transfer_rate == 100.0
+        assert it.dirty_rate == 10.0
+
+    def test_zero_duration(self):
+        it = IterationStats(index=1, units_sent=0, bytes_sent=0,
+                            started_at=5.0, ended_at=5.0, dirty_at_end=0)
+        assert it.transfer_rate == float("inf")
+        assert it.dirty_rate == 0.0
+
+
+class TestPostCopyStats:
+    def test_duration(self):
+        pc = PostCopyStats(started_at=1.0, ended_at=1.5)
+        assert pc.duration == pytest.approx(0.5)
+
+
+class TestMigrationReport:
+    def make_report(self):
+        r = MigrationReport(scheme="tpm", workload="w")
+        r.started_at = 0.0
+        r.precopy_disk_started_at = 0.0
+        r.precopy_disk_ended_at = 100.0
+        r.precopy_mem_started_at = 100.0
+        r.precopy_mem_ended_at = 110.0
+        r.suspended_at = 110.0
+        r.resumed_at = 110.05
+        r.ended_at = 111.0
+        r.postcopy = PostCopyStats(started_at=110.05, ended_at=111.0)
+        r.bytes_by_category = {"disk": 1000, "memory": 500, "bitmap": 10,
+                               "pull": 5, "control": 3, "cpu": 8}
+        r.disk_iterations = [
+            IterationStats(1, 10_000, 0, 0.0, 90.0, 500),
+            IterationStats(2, 500, 0, 90.0, 95.0, 60),
+            IterationStats(3, 60, 0, 95.0, 100.0, 10),
+        ]
+        return r
+
+    def test_total_migration_time(self):
+        assert self.make_report().total_migration_time == 111.0
+
+    def test_downtime(self):
+        assert self.make_report().downtime == pytest.approx(0.05)
+
+    def test_migrated_bytes_sums_ledger(self):
+        assert self.make_report().migrated_bytes == 1526
+
+    def test_storage_bytes_excludes_memory(self):
+        assert self.make_report().storage_bytes == 1015
+
+    def test_retransferred_counts_iterations_after_first(self):
+        assert self.make_report().retransferred_blocks == 560
+
+    def test_storage_migration_time(self):
+        r = self.make_report()
+        # disk pre-copy (100) + freeze (0.05) + post-copy (0.95)
+        assert r.storage_migration_time == pytest.approx(101.0)
+
+    def test_precopy_duration(self):
+        assert self.make_report().precopy_duration == pytest.approx(110.0)
+
+    def test_summary_mentions_key_numbers(self):
+        text = self.make_report().summary()
+        assert "TPM" in text
+        assert "downtime" in text
+        assert "560 blocks" in text

@@ -1,0 +1,140 @@
+"""Failure-injection and stress scenarios for the migration core."""
+
+import numpy as np
+import pytest
+
+from repro.core import MigrationConfig
+from repro.errors import MigrationError
+from repro.units import MB
+
+
+class TestHostileNetworks:
+    def test_slow_link_still_consistent(self, make_bed):
+        """A 10 Mbit-class link: migration crawls but stays correct."""
+        bed = make_bed(link_bw=1.25 * MB)
+        bed.random_writer(region=(0, 100), interval=0.05)
+        report = bed.migrate()
+        assert report.consistency_verified
+        assert report.total_migration_time > 5.0  # it *was* slow
+
+    def test_high_latency_link(self, make_bed):
+        bed = make_bed(latency=0.05)  # 50 ms one-way (WAN-ish)
+        report = bed.migrate()
+        assert report.consistency_verified
+        # Latency inflates handshakes and post-copy but not correctness.
+
+    def test_extreme_rate_limit(self, make_bed):
+        bed = make_bed()
+        cfg = bed.config.replace(rate_limit=0.5 * MB)
+        report = bed.migrate(cfg)
+        assert report.consistency_verified
+
+
+class TestHostileWorkloads:
+    def test_dirty_rate_above_transfer_rate(self, make_bed):
+        """Writes outpace the link: pre-copy must bail, post-copy fixes."""
+        bed = make_bed(link_bw=2 * MB)
+        bed.random_writer(region=(0, 1900), interval=0.0005, nblocks=8)
+        report = bed.migrate()
+        assert report.consistency_verified
+        assert len(report.disk_iterations) <= bed.config.max_disk_iterations
+        assert report.remaining_dirty_blocks > 0  # handed to post-copy
+
+    def test_whole_disk_rewriter(self, make_bed):
+        """A sequential writer that rewrites the entire disk repeatedly."""
+        bed = make_bed()
+        state = {"cursor": 0}
+
+        def scrubber(env):
+            while True:
+                yield from bed.domain.ensure_running()
+                yield from bed.domain.write(state["cursor"], 8)
+                state["cursor"] = (state["cursor"] + 8) % (bed.vbd.nblocks - 8)
+                yield env.timeout(0.001)
+
+        bed.env.process(scrubber(bed.env))
+        report = bed.migrate()
+        assert report.consistency_verified
+
+    def test_reader_hammering_dirty_blocks_during_postcopy(self, make_bed):
+        """Reads chase the dirty set: pulls must not break consistency."""
+        bed = make_bed()
+        rng = np.random.default_rng(3)
+
+        def hotloop(env):
+            while True:
+                yield from bed.domain.ensure_running()
+                block = int(rng.integers(0, 200))
+                yield from bed.domain.write(block, 2)
+                yield from bed.domain.read(int(rng.integers(0, 200)))
+                yield env.timeout(0.0005)
+
+        bed.env.process(hotloop(bed.env))
+        report = bed.migrate()
+        assert report.consistency_verified
+
+    def test_zero_think_time_guest(self, make_bed):
+        """A guest that never idles (the verify-retry regression case)."""
+        bed = make_bed()
+
+        def busy(env):
+            cursor = 0
+            while True:
+                yield from bed.domain.ensure_running()
+                yield from bed.domain.write(cursor % 500, 4)
+                yield from bed.domain.read((cursor * 7) % 1000, 4)
+                cursor += 1  # no timeout: back-to-back I/O forever
+
+        bed.env.process(busy(bed.env))
+        report = bed.migrate()
+        assert report.consistency_verified
+
+
+class TestRepeatedMigrations:
+    def test_ping_pong_ten_times(self, make_bed):
+        bed = make_bed()
+        bed.random_writer(region=(0, 300), interval=0.01)
+        for i in range(10):
+            report = bed.migrate()
+            assert report.consistency_verified, f"round {i}"
+            if i > 0:
+                assert report.incremental, f"round {i}"
+            bed.env.run(until=bed.env.now + 0.3)
+
+    def test_im_with_layered_bitmaps(self, make_bed):
+        bed = make_bed()
+        cfg = bed.config.replace(bitmap_layout="layered", leaf_bits=256)
+        bed.random_writer(region=(0, 300), interval=0.01)
+        first = bed.migrate(cfg)
+        bed.env.run(until=bed.env.now + 0.5)
+        second = bed.migrate(cfg)
+        assert second.incremental
+        assert second.consistency_verified
+
+
+class TestGeometry:
+    def test_one_block_disk(self, make_bed):
+        bed = make_bed(nblocks=1, npages=1)
+        report = bed.migrate()
+        assert report.consistency_verified
+        assert report.disk_iterations[0].units_sent == 1
+
+    def test_odd_sized_disk(self, make_bed):
+        bed = make_bed(nblocks=1237)  # not a multiple of any chunk size
+        report = bed.migrate()
+        assert report.consistency_verified
+
+    def test_mismatched_stale_vbd_rejected(self, bed):
+        from repro.core import ThreePhaseMigration
+
+        wrong_vbd = bed.destination.prepare_vbd(bed.vbd.nblocks + 1)
+        fwd, rev = bed.channels()
+        migration = ThreePhaseMigration(
+            bed.env, bed.domain, bed.source, bed.destination, fwd, rev,
+            bed.config, dest_vbd=wrong_vbd)
+
+        def proc(env):
+            return (yield from migration.run())
+
+        with pytest.raises(MigrationError, match="geometry"):
+            bed.env.run(until=bed.env.process(proc(bed.env)))

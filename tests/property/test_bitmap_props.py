@@ -1,0 +1,131 @@
+"""Property-based tests: flat and layered bitmaps are observationally equal,
+and bitmap algebra obeys its invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import FlatBitmap, LayeredBitmap, granularity_cost
+from repro.units import KiB
+
+NBITS = 257  # deliberately not a multiple of any leaf size
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of bitmap operations."""
+    ops = []
+    for _ in range(draw(st.integers(0, 30))):
+        kind = draw(st.sampled_from(
+            ["set", "clear", "set_many", "clear_many", "set_range",
+             "reset", "set_all"]))
+        if kind in ("set", "clear"):
+            ops.append((kind, draw(st.integers(0, NBITS - 1))))
+        elif kind in ("set_many", "clear_many"):
+            idx = draw(st.lists(st.integers(0, NBITS - 1), max_size=20))
+            ops.append((kind, np.array(idx, dtype=np.int64)))
+        elif kind == "set_range":
+            start = draw(st.integers(0, NBITS - 1))
+            count = draw(st.integers(0, NBITS - start))
+            ops.append((kind, (start, count)))
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+def apply_ops(bitmap, ops):
+    for kind, arg in ops:
+        if kind in ("set", "clear"):
+            getattr(bitmap, kind)(arg)
+        elif kind in ("set_many", "clear_many"):
+            getattr(bitmap, kind)(arg)
+        elif kind == "set_range":
+            bitmap.set_range(*arg)
+        else:
+            getattr(bitmap, kind)()
+
+
+class TestLayeredEquivalence:
+    @given(operations(), st.sampled_from([16, 64, 100, 257, 1000]))
+    @settings(max_examples=80)
+    def test_layered_matches_flat(self, ops, leaf_bits):
+        flat = FlatBitmap(NBITS)
+        layered = LayeredBitmap(NBITS, leaf_bits=leaf_bits)
+        apply_ops(flat, ops)
+        apply_ops(layered, ops)
+        assert np.array_equal(flat.to_bool_array(), layered.to_bool_array())
+        assert flat.count() == layered.count()
+        assert np.array_equal(flat.dirty_indices(), layered.dirty_indices())
+
+    @given(operations())
+    @settings(max_examples=40)
+    def test_copy_preserves_and_isolates(self, ops):
+        original = LayeredBitmap(NBITS, leaf_bits=64)
+        apply_ops(original, ops)
+        clone = original.copy()
+        assert np.array_equal(original.to_bool_array(), clone.to_bool_array())
+        clone.set_all()
+        original_count = original.count()
+        assert original_count <= NBITS  # untouched by the clone mutation
+        assert clone.count() == NBITS
+
+
+class TestAlgebra:
+    @given(operations(), operations())
+    @settings(max_examples=50)
+    def test_union_is_elementwise_or(self, ops_a, ops_b):
+        a, b = FlatBitmap(NBITS), FlatBitmap(NBITS)
+        apply_ops(a, ops_a)
+        apply_ops(b, ops_b)
+        expected = a.to_bool_array() | b.to_bool_array()
+        a.union_update(b)
+        assert np.array_equal(a.to_bool_array(), expected)
+
+    @given(operations())
+    @settings(max_examples=50)
+    def test_count_equals_dirty_indices_length(self, ops):
+        bm = LayeredBitmap(NBITS, leaf_bits=50)
+        apply_ops(bm, ops)
+        assert bm.count() == bm.dirty_indices().size
+
+    @given(operations())
+    @settings(max_examples=50)
+    def test_pack_unpack_roundtrip(self, ops):
+        bm = FlatBitmap(NBITS)
+        apply_ops(bm, ops)
+        restored = FlatBitmap.unpack(bm.pack(), NBITS)
+        assert np.array_equal(bm.to_bool_array(), restored.to_bool_array())
+
+    @given(operations())
+    @settings(max_examples=50)
+    def test_layered_wire_size_never_exceeds_flat_plus_top(self, ops):
+        layered = LayeredBitmap(NBITS, leaf_bits=64)
+        apply_ops(layered, ops)
+        flat_size = FlatBitmap(NBITS).serialized_nbytes()
+        top_size = (layered._nleaves + 7) // 8
+        assert layered.serialized_nbytes() <= flat_size + top_size
+
+
+class TestGranularityProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 900_000), st.integers(1, 60_000)),
+        max_size=15))
+    @settings(max_examples=50)
+    def test_amplification_at_least_one(self, raw_writes):
+        disk = 1_000_000
+        writes = [(o, min(l, disk - o)) for o, l in raw_writes if o < disk]
+        writes = [(o, l) for o, l in writes if l > 0]
+        cost = granularity_cost(writes, disk, 4 * KiB)
+        assert cost.amplification >= 1.0 - 1e-9
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 900_000), st.integers(1, 60_000)),
+        max_size=15))
+    @settings(max_examples=50)
+    def test_finer_granularity_smaller_or_equal_dirty_bytes(self, raw_writes):
+        disk = 1_000_000
+        writes = [(o, min(l, disk - o)) for o, l in raw_writes if o < disk]
+        writes = [(o, l) for o, l in writes if l > 0]
+        fine = granularity_cost(writes, disk, 512)
+        coarse = granularity_cost(writes, disk, 4 * KiB)
+        assert fine.dirty_bytes <= coarse.dirty_bytes
+        assert fine.bitmap_nbytes >= coarse.bitmap_nbytes

@@ -1,0 +1,121 @@
+"""Property-based tests on the network substrate's guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    BlockDataMsg,
+    Channel,
+    Compressor,
+    ControlMsg,
+    Link,
+    TokenBucket,
+)
+from repro.sim import Environment
+from repro.units import MB
+
+
+message_batch = st.lists(
+    st.one_of(
+        st.integers(1, 2000).map(
+            lambda n: BlockDataMsg(np.arange(n), np.arange(n))),
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8).map(
+            lambda t: ControlMsg(t)),
+    ),
+    min_size=1, max_size=12)
+
+
+class TestChannelFifo:
+    @given(message_batch,
+           st.one_of(st.none(), st.floats(min_value=1.01, max_value=8.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_order_matches_send_order(self, messages, ratio):
+        """FIFO holds for any message mix, with or without compression."""
+        env = Environment()
+        compressor = Compressor(ratio=ratio) if ratio else None
+        chan = Channel(env, Link(env, 100 * MB, 1e-4),
+                       compressor=compressor)
+        tags = []
+
+        def sender(env):
+            for i, msg in enumerate(messages):
+                yield from chan.send(msg, category="x")
+
+        def receiver(env):
+            for _ in messages:
+                msg = yield chan.recv()
+                tags.append(id(msg))
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        assert tags == [id(m) for m in messages]
+
+    @given(message_batch)
+    @settings(max_examples=30, deadline=None)
+    def test_ledger_equals_sum_of_wire_sizes(self, messages):
+        env = Environment()
+        chan = Channel(env, Link(env, 100 * MB, 0))
+
+        def sender(env):
+            for msg in messages:
+                yield from chan.send(msg, category="x")
+
+        env.run(until=env.process(sender(env)))
+        assert chan.total_bytes == sum(m.wire_nbytes for m in messages)
+        assert chan.messages_sent == len(messages)
+
+    @given(message_batch, st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_compression_never_grows_the_ledger(self, messages, ratio):
+        plain = sum(m.wire_nbytes for m in messages)
+        env = Environment()
+        chan = Channel(env, Link(env, 100 * MB, 0),
+                       compressor=Compressor(ratio=ratio))
+
+        def sender(env):
+            for msg in messages:
+                yield from chan.send(msg, category="x")
+
+        env.run(until=env.process(sender(env)))
+        assert chan.total_bytes <= plain
+        assert chan.total_bytes + chan.bytes_saved == plain
+
+
+class TestTokenBucketConformance:
+    @given(st.floats(min_value=1e4, max_value=1e7),
+           st.lists(st.integers(1, 500_000), min_size=3, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_long_run_rate_never_exceeded(self, rate, sizes):
+        """Total bytes through the bucket never exceed burst + rate*t."""
+        env = Environment()
+        bucket = TokenBucket(env, rate=rate, burst=rate)
+
+        def consumer(env):
+            for n in sizes:
+                yield from bucket.consume(n)
+            return env.now
+
+        elapsed = env.run(until=env.process(consumer(env)))
+        total = sum(sizes)
+        # Allow the initial burst plus the refill over the elapsed time.
+        assert total <= bucket.burst + rate * elapsed + 1e-6
+
+    @given(st.floats(min_value=1e4, max_value=1e6))
+    @settings(max_examples=20, deadline=None)
+    def test_sustained_throughput_approaches_rate(self, rate):
+        env = Environment()
+        bucket = TokenBucket(env, rate=rate, burst=rate / 10)
+        chunk = int(rate / 5)
+        rounds = 50
+
+        def consumer(env):
+            for _ in range(rounds):
+                yield from bucket.consume(chunk)
+            return env.now
+
+        elapsed = env.run(until=env.process(consumer(env)))
+        achieved = rounds * chunk / elapsed
+        assert achieved <= rate * 1.05
+        assert achieved >= rate * 0.8

@@ -1,0 +1,83 @@
+"""Property-based tests on the discrete-event engine's ordering guarantees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+class TestEventOrdering:
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=40))
+    @settings(max_examples=60)
+    def test_timeouts_fire_in_time_order(self, delays):
+        env = Environment()
+        fired = []
+        for d in delays:
+            env.timeout(d).callbacks.append(
+                lambda e, d=d: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        if delays:
+            assert env.now == max(delays)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10,
+                              allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def proc(env, d):
+            yield env.timeout(d)
+            observed.append(env.now)
+
+        for d in delays:
+            env.process(proc(env, d))
+        env.run()
+        assert observed == sorted(observed)
+
+    @given(st.integers(1, 5), st.lists(st.floats(min_value=0.01, max_value=2,
+                                                 allow_nan=False),
+                                       min_size=1, max_size=15))
+    @settings(max_examples=40)
+    def test_resource_never_exceeds_capacity(self, capacity, durations):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        active = [0]
+        peak = [0]
+
+        def user(env, hold):
+            with res.request() as req:
+                yield req
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+                yield env.timeout(hold)
+                active[0] -= 1
+
+        for hold in durations:
+            env.process(user(env, hold))
+        env.run()
+        assert peak[0] <= capacity
+        assert active[0] == 0
+
+    @given(st.lists(st.integers(0, 1000), max_size=30))
+    @settings(max_examples=60)
+    def test_store_is_fifo(self, items):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in items:
+                value = yield store.get()
+                received.append(value)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == items

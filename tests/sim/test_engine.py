@@ -1,0 +1,94 @@
+"""Unit tests for the Environment event loop."""
+
+import pytest
+
+from repro.errors import SimulationError, StaleSchedulingError
+from repro.sim import Environment, NORMAL, URGENT
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_number_advances_clock_exactly(self, env):
+        env.timeout(10)
+        env.run(until=3.5)
+        assert env.now == 3.5
+
+    def test_run_until_past_is_rejected(self, env):
+        env.timeout(1)
+        env.run(until=2)
+        with pytest.raises(StaleSchedulingError):
+            env.run(until=1)
+
+    def test_peek_empty_queue(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7)
+        env.timeout(3)
+        assert env.peek() == 3
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestScheduling:
+    def test_urgent_beats_normal_at_same_time(self, env):
+        order = []
+        normal = env.event()
+        urgent = env.event()
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        normal._ok = urgent._ok = True
+        normal._value = urgent._value = None
+        env.schedule(normal, priority=NORMAL)
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_fifo_within_same_time_and_priority(self, env):
+        order = []
+        for i in range(5):
+            ev = env.event()
+            ev._ok, ev._value = True, None
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+            env.schedule(ev)
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(StaleSchedulingError):
+            env.schedule(env.event(), delay=-1)
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        assert env.run(until=env.timeout(2, value="v")) == "v"
+
+    def test_already_processed_event(self, env):
+        t = env.timeout(1, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_queue_drain_before_event_raises(self, env):
+        ev = env.event()  # never triggered
+        env.timeout(1)
+        with pytest.raises(SimulationError, match="drained"):
+            env.run(until=ev)
+
+    def test_failed_until_event_raises(self, env):
+        def failer(env, ev):
+            yield env.timeout(1)
+            ev.fail(KeyError("k"))
+
+        ev = env.event()
+        env.process(failer(env, ev))
+        with pytest.raises(KeyError):
+            env.run(until=ev)

@@ -1,0 +1,109 @@
+"""Unit tests for the PhysicalDisk bandwidth model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim import Environment
+from repro.storage import PhysicalDisk
+from repro.units import MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestServiceTime:
+    def test_read_time(self, env):
+        disk = PhysicalDisk(env, read_bandwidth=100 * MiB,
+                            write_bandwidth=50 * MiB, seek_time=0.001)
+        assert disk.service_time(100 * MiB, is_write=False) == pytest.approx(1.001)
+        assert disk.service_time(50 * MiB, is_write=True) == pytest.approx(1.001)
+
+    def test_invalid_parameters(self, env):
+        with pytest.raises(StorageError):
+            PhysicalDisk(env, read_bandwidth=0)
+        with pytest.raises(StorageError):
+            PhysicalDisk(env, seek_time=-1)
+
+
+class TestIO:
+    def test_single_read(self, env):
+        disk = PhysicalDisk(env, read_bandwidth=10 * MiB,
+                            write_bandwidth=10 * MiB, seek_time=0)
+
+        def proc(env):
+            yield from disk.read(10 * MiB)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == pytest.approx(1.0)
+        assert disk.bytes_read == 10 * MiB
+        assert disk.ops == 1
+
+    def test_contention_serializes(self, env):
+        disk = PhysicalDisk(env, read_bandwidth=10 * MiB,
+                            write_bandwidth=10 * MiB, seek_time=0)
+        done = []
+
+        def user(env, name):
+            yield from disk.read(10 * MiB)
+            done.append((env.now, name))
+
+        env.process(user(env, "a"))
+        env.process(user(env, "b"))
+        env.run()
+        assert done[0][0] == pytest.approx(1.0)
+        assert done[1][0] == pytest.approx(2.0)
+
+    def test_priority_favours_guest(self, env):
+        disk = PhysicalDisk(env, read_bandwidth=10 * MiB,
+                            write_bandwidth=10 * MiB, seek_time=0)
+        order = []
+
+        def bulk(env):
+            # Two back-to-back bulk ops; the guest op arrives between them.
+            yield from disk.read(10 * MiB, priority=5)
+            order.append("bulk1")
+            yield from disk.read(10 * MiB, priority=5)
+            order.append("bulk2")
+
+        def guest(env):
+            yield env.timeout(0.5)
+            yield from disk.read(1 * MiB, priority=0)
+            order.append("guest")
+
+        env.process(bulk(env))
+        env.process(guest(env))
+        env.run()
+        assert order == ["bulk1", "guest", "bulk2"]
+
+    def test_negative_size_rejected(self, env):
+        disk = PhysicalDisk(env)
+
+        def proc(env):
+            yield from disk.read(-1)
+
+        with pytest.raises(StorageError):
+            env.run(until=env.process(proc(env)))
+
+    def test_utilization(self, env):
+        disk = PhysicalDisk(env, read_bandwidth=10 * MiB,
+                            write_bandwidth=10 * MiB, seek_time=0)
+
+        def proc(env):
+            yield from disk.read(5 * MiB)
+            yield env.timeout(0.5)
+
+        env.run(until=env.process(proc(env)))
+        assert disk.utilization(1.0) == pytest.approx(0.5)
+        assert disk.utilization(0) == 0.0
+
+    def test_write_counters(self, env):
+        disk = PhysicalDisk(env, seek_time=0)
+
+        def proc(env):
+            yield from disk.write(1024)
+
+        env.run(until=env.process(proc(env)))
+        assert disk.bytes_written == 1024
+        assert disk.bytes_read == 0

@@ -1,0 +1,75 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_migrate_defaults(self):
+        args = build_parser().parse_args(["migrate"])
+        assert args.workload == "specweb"
+        assert args.scheme == "tpm"
+        assert args.rate_limit is None
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["migrate", "--workload", "doom"])
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["migrate", "--scheme", "teleport"])
+
+
+class TestCommands:
+    SMALL = ["--scale", "0.004", "--warmup", "3"]
+
+    def test_migrate_tpm(self, capsys):
+        assert main(["migrate", "--workload", "idle", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "primary TPM migration" in out
+        assert "downtime" in out
+        assert "wire ledger" in out
+
+    def test_migrate_roundtrip(self, capsys):
+        assert main(["migrate", "--workload", "specweb", "--roundtrip",
+                     "--dwell", "3", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "incremental migration back" in out
+
+    def test_migrate_guest_aware_flag(self, capsys):
+        assert main(["migrate", "--workload", "idle", "--guest-aware",
+                     *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "guest_aware_skipped_blocks" in out
+
+    def test_migrate_baseline_scheme(self, capsys):
+        assert main(["migrate", "--scheme", "freeze-and-copy",
+                     "--workload", "idle", *self.SMALL]) == 0
+        assert "freeze-and-copy migration" in capsys.readouterr().out
+
+    def test_migrate_on_demand_reports_dependency(self, capsys):
+        assert main(["migrate", "--scheme", "on-demand", "--workload",
+                     "idle", "--dwell", "2", *self.SMALL]) == 0
+        assert "residual dependency" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--workload", "video", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "measured" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--workload", "specweb", "--dwell", "3",
+                     *self.SMALL]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_locality(self, capsys):
+        assert main(["locality", "--workload", "kernelbuild",
+                     "--duration", "20", "--warmup", "10",
+                     "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "locality" in out and "rewrite fraction" in out

@@ -1,0 +1,180 @@
+"""Unit tests for address models and the memory dirtier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import (
+    FreshAppendModel,
+    HotspotModel,
+    MemoryDirtier,
+    SequentialModel,
+    UniformModel,
+    ZipfModel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def in_region(model, extent):
+    first, nblocks = extent
+    return (model.region_start <= first
+            and first + nblocks <= model.region_start + model.region_blocks)
+
+
+class TestValidation:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ReproError):
+            UniformModel(0, 0)
+
+    def test_extent_must_fit(self):
+        with pytest.raises(ReproError):
+            UniformModel(0, 4, extent_blocks=5)
+        with pytest.raises(ReproError):
+            UniformModel(0, 4, extent_blocks=0)
+
+
+class TestSequential:
+    def test_walks_in_order(self, rng):
+        model = SequentialModel(100, 10, extent_blocks=2)
+        extents = [model.next_extent(rng) for _ in range(5)]
+        assert extents == [(100, 2), (102, 2), (104, 2), (106, 2), (108, 2)]
+
+    def test_wraps_and_counts_passes(self, rng):
+        model = SequentialModel(0, 4, extent_blocks=2)
+        for _ in range(4):
+            model.next_extent(rng)
+        assert model.passes == 1
+
+    def test_rewind(self, rng):
+        model = SequentialModel(0, 10, extent_blocks=1)
+        model.next_extent(rng)
+        model.rewind()
+        assert model.next_extent(rng) == (0, 1)
+
+
+class TestUniform:
+    def test_stays_in_region(self, rng):
+        model = UniformModel(50, 20, extent_blocks=3)
+        for _ in range(200):
+            assert in_region(model, model.next_extent(rng))
+
+    def test_covers_region(self, rng):
+        model = UniformModel(0, 10, extent_blocks=1)
+        seen = {model.next_extent(rng)[0] for _ in range(500)}
+        assert seen == set(range(10))
+
+
+class TestHotspot:
+    def test_hot_fraction_dominates(self, rng):
+        model = HotspotModel(0, 1000, hot_fraction=0.1, hot_prob=0.9)
+        hits = [model.next_extent(rng)[0] for _ in range(2000)]
+        hot_hits = sum(1 for h in hits if h < model.hot_blocks)
+        assert hot_hits / len(hits) > 0.85
+
+    def test_bounds(self, rng):
+        model = HotspotModel(10, 100, extent_blocks=4)
+        for _ in range(500):
+            assert in_region(model, model.next_extent(rng))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            HotspotModel(0, 100, hot_fraction=0)
+        with pytest.raises(ReproError):
+            HotspotModel(0, 100, hot_prob=1.5)
+
+
+class TestZipf:
+    def test_stays_in_region(self, rng):
+        model = ZipfModel(100, 500, extent_blocks=3)
+        for _ in range(1000):
+            assert in_region(model, model.next_extent(rng))
+
+    def test_heavy_tail_concentrates_on_few_blocks(self, rng):
+        model = ZipfModel(0, 10_000, alpha=1.5)
+        hits = [model.next_extent(rng)[0] for _ in range(3000)]
+        from collections import Counter
+
+        top10 = sum(c for _, c in Counter(hits).most_common(10))
+        assert top10 / len(hits) > 0.5  # 10 blocks absorb most accesses
+
+    def test_hot_blocks_are_scattered(self, rng):
+        """Unlike HotspotModel, popularity is not physically clustered."""
+        model = ZipfModel(0, 10_000, alpha=1.5)
+        hits = [model.next_extent(rng)[0] for _ in range(2000)]
+        from collections import Counter
+
+        top = [b for b, _ in Counter(hits).most_common(5)]
+        assert max(top) - min(top) > 1000
+
+    def test_deterministic_permutation(self, rng):
+        a = ZipfModel(0, 1000)
+        b = ZipfModel(0, 1000)
+        assert (a._rank_to_offset == b._rank_to_offset).all()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ReproError):
+            ZipfModel(0, 100, alpha=1.0)
+
+
+class TestFreshAppend:
+    def test_rewrite_fraction_converges_to_knob(self, rng):
+        model = FreshAppendModel(0, 100_000, extent_blocks=1,
+                                 rewrite_prob=0.25)
+        seen = set()
+        rewrites = ops = 0
+        for _ in range(5000):
+            first, nblocks = model.next_extent(rng)
+            ops += 1
+            if first in seen:
+                rewrites += 1
+            seen.add(first)
+        assert rewrites / ops == pytest.approx(0.25, abs=0.03)
+
+    def test_first_write_is_always_fresh(self, rng):
+        model = FreshAppendModel(0, 100, rewrite_prob=0.9)
+        assert model.next_extent(rng) == (0, 1)
+
+    def test_bounds(self, rng):
+        model = FreshAppendModel(5, 50, extent_blocks=4, rewrite_prob=0.3)
+        for _ in range(500):
+            assert in_region(model, model.next_extent(rng))
+
+    def test_invalid_rewrite_prob(self):
+        with pytest.raises(ReproError):
+            FreshAppendModel(0, 100, rewrite_prob=1.0)
+
+
+class TestMemoryDirtier:
+    def test_rate_scales_with_dt(self, rng):
+        dirtier = MemoryDirtier(10_000, wss_pages=1000,
+                                pages_per_second=1000.0)
+        total = sum(dirtier.pages(0.1, rng).size for _ in range(100))
+        assert total == pytest.approx(10_000, rel=0.15)
+
+    def test_hot_set_dominates(self, rng):
+        dirtier = MemoryDirtier(10_000, wss_pages=100,
+                                pages_per_second=10_000.0, hot_prob=0.9)
+        pages = dirtier.pages(1.0, rng)
+        assert (pages < 100).mean() > 0.85
+
+    def test_zero_interval(self, rng):
+        dirtier = MemoryDirtier(100, wss_pages=10, pages_per_second=100.0)
+        assert dirtier.pages(0.0, rng).size == 0
+
+    def test_pages_in_range(self, rng):
+        dirtier = MemoryDirtier(64, wss_pages=8, pages_per_second=5000.0,
+                                hot_prob=0.5)
+        pages = dirtier.pages(1.0, rng)
+        assert pages.min() >= 0 and pages.max() < 64
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            MemoryDirtier(100, wss_pages=0, pages_per_second=1)
+        with pytest.raises(ReproError):
+            MemoryDirtier(100, wss_pages=200, pages_per_second=1)
+        with pytest.raises(ReproError):
+            MemoryDirtier(100, wss_pages=10, pages_per_second=-1)
