@@ -31,6 +31,9 @@ Subpackages
 ``repro.baselines``
     Freeze-and-copy, on-demand fetching, Bradford delta-queue, and
     shared-storage (memory-only) migration.
+``repro.faults``
+    Deterministic fault injection (link blackouts, degradation windows,
+    host crashes) and bitmap-preserving failure recovery.
 ``repro.analysis``
     Metrics, write-locality, tables, canned experiments.
 """
@@ -38,8 +41,10 @@ Subpackages
 from .errors import (
     BitmapError,
     ConsistencyError,
+    FaultError,
     MigrationAborted,
     MigrationError,
+    MigrationFailed,
     NetworkError,
     ReproError,
     SimulationError,
@@ -53,12 +58,14 @@ __all__ = [
     "BLOCK_SIZE",
     "BitmapError",
     "ConsistencyError",
+    "FaultError",
     "GiB",
     "Gbps",
     "KiB",
     "MiB",
     "MigrationAborted",
     "MigrationError",
+    "MigrationFailed",
     "NetworkError",
     "PAGE_SIZE",
     "ReproError",

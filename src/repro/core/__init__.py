@@ -19,7 +19,7 @@ Typical use::
 """
 
 from .config import MigrationConfig
-from .manager import Migrator
+from .manager import MigrationRetrier, Migrator
 from .memcopy import MemoryPreCopier
 from .metrics import IterationStats, MigrationReport, PostCopyStats
 from .postcopy import PostCopySynchronizer
@@ -35,6 +35,7 @@ __all__ = [
     "MemoryPreCopier",
     "MigrationConfig",
     "MigrationReport",
+    "MigrationRetrier",
     "Migrator",
     "PageStreamer",
     "PostCopyStats",

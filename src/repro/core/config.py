@@ -114,6 +114,11 @@ class MigrationConfig:
     #: After post-copy, assert that destination storage is consistent with
     #: the source (modulo blocks legitimately overwritten by the guest).
     verify_consistency: bool = True
+    #: Total simulated time to wait for in-flight guest writes to land
+    #: before declaring the destination inconsistent.
+    verify_retry_budget: float = 1.0
+    #: Interval between consistency re-checks within the budget.
+    verify_retry_interval: float = 5e-3
 
     block_size: int = BLOCK_SIZE
 
@@ -134,6 +139,10 @@ class MigrationConfig:
             raise MigrationError("push_chunk_blocks must be >= 1")
         if self.max_mem_rounds < 1:
             raise MigrationError("need at least one memory round")
+        if self.verify_retry_budget < 0:
+            raise MigrationError("verify_retry_budget cannot be negative")
+        if self.verify_retry_interval <= 0:
+            raise MigrationError("verify_retry_interval must be positive")
 
     def replace(self, **overrides) -> "MigrationConfig":
         """A copy of this config with the given fields changed."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..errors import MigrationError, StorageError
+from ..errors import MigrationError, MigrationFailed, StorageError
 from ..net.channel import Channel
 from ..net.compression import Compressor
 from ..net.link import DuplexLink
@@ -32,6 +32,7 @@ from ..vm.domain import Domain
 from ..vm.host import Host
 from .config import MigrationConfig
 from .metrics import MigrationReport
+from .precopy import TRACKING_NAME
 from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,7 +58,14 @@ class Migrator:
         #: domain_id -> name of the host the domain most recently left
         #: (the host its "im" bitmap diverges from).
         self._im_source: dict[int, str] = {}
-        #: All reports produced, in order.
+        #: (domain_id, host_name) -> partially populated VBD left on that
+        #: host by a *failed* migration, reusable by an incremental retry
+        #: while the source keeps the surviving tracking bitmap.
+        self._partial: dict[tuple[int, str], VirtualBlockDevice] = {}
+        #: Set by :meth:`~repro.faults.injector.FaultInjector.inject`;
+        #: migrations register it for phase-triggered faults.
+        self.fault_injector = None
+        #: All reports produced, in order (failed attempts included).
         self.history: list[MigrationReport] = []
         #: domain_id -> in-flight migration (for :meth:`abort`).
         self.active_migrations: dict[int, "ThreePhaseMigration"] = {}
@@ -103,6 +111,17 @@ class Migrator:
             raise MigrationError(f"{domain} is not running on any host")
         if destination is source:
             raise MigrationError("destination must differ from the source")
+        if source.crashed or destination.crashed:
+            victim = source.name if source.crashed else destination.name
+            report = MigrationReport(scheme="tpm", workload=workload_name)
+            report.started_at = report.ended_at = self.env.now
+            report.extra["failed"] = True
+            report.extra["failure"] = f"host {victim!r} is down"
+            report.extra["failed_phase"] = "init"
+            self.history.append(report)
+            raise MigrationFailed(
+                f"cannot migrate {domain}: host {victim!r} is down",
+                report=report)
 
         fwd_link, rev_link = self.link_between(source, destination)
         limiter = (TokenBucket(self.env, cfg.rate_limit, cfg.rate_limit_burst)
@@ -115,16 +134,36 @@ class Migrator:
         rev = Channel(self.env, rev_link,
                       name=f"mig:{destination.name}->{source.name}")
 
+        src_driver = source.driver_of(domain.domain_id)
+
+        # Retry of a failed migration? -- needs the surviving pre-copy
+        # tracking bitmap on the source AND the partial copy the failed
+        # attempt left at this destination.  The bitmap stays registered
+        # (adopted atomically by the pre-copier), so no write between the
+        # failure and here is ever missed.
+        resume = False
+        dest_vbd = None
+        partial_key = (domain.domain_id, destination.name)
+        if src_driver.has_tracking(TRACKING_NAME):
+            partial = self._partial.pop(partial_key, None)
+            if partial is not None:
+                resume = True
+                dest_vbd = partial
+            else:
+                # The surviving bitmap describes a partial copy elsewhere;
+                # against this destination it is useless.  Start clean.
+                src_driver.stop_tracking(TRACKING_NAME)
+                self._drop_partials(domain.domain_id)
+
         # Incremental? -- needs a stale copy at the destination AND a live
         # divergence bitmap on the current host recording writes since the
         # domain last left that destination.
-        src_driver = source.driver_of(domain.domain_id)
         divergence = self._collect_divergence(domain, src_driver)
 
         initial_indices = None
-        dest_vbd = None
         stale_key = (domain.domain_id, destination.name)
-        if stale_key in self._stale and destination.name in divergence:
+        if (not resume and stale_key in self._stale
+                and destination.name in divergence):
             dest_vbd = self._stale.pop(stale_key)
             initial_indices = divergence.pop(
                 destination.name).dirty_indices()
@@ -141,10 +180,19 @@ class Migrator:
         migration = ThreePhaseMigration(
             self.env, domain, source, destination, fwd, rev, cfg,
             initial_indices=initial_indices, dest_vbd=dest_vbd,
-            workload_name=workload_name, extra_im_bitmaps=extra_im)
+            workload_name=workload_name, extra_im_bitmaps=extra_im,
+            resume=resume)
+        if self.fault_injector is not None:
+            migration.phase_observers.append(self.fault_injector.on_phase)
         self.active_migrations[domain.domain_id] = migration
         try:
             report = yield from migration.run()
+        except MigrationFailed as failure:
+            if failure.dest_vbd is not None:
+                self._partial[partial_key] = failure.dest_vbd
+            if failure.report is not None:
+                self.history.append(failure.report)
+            raise
         finally:
             self.active_migrations.pop(domain.domain_id, None)
 
@@ -156,6 +204,10 @@ class Migrator:
                 self._stale[stale_key] = dest_vbd
             self.history.append(report)
             return report
+
+        # A completed migration supersedes any partial copy left around by
+        # earlier failed attempts of this domain.
+        self._drop_partials(domain.domain_id)
 
         # Bookkeeping for the next IM: the disk left on the old source is
         # now a stale copy.  Without multi-host IM only it stays valid
@@ -175,6 +227,23 @@ class Migrator:
         if migration is None:
             return False
         return migration.request_abort()
+
+    def _drop_partials(self, domain_id: int) -> None:
+        for key in [k for k in self._partial if k[0] == domain_id]:
+            del self._partial[key]
+
+    def discard_partial(self, domain: Domain) -> None:
+        """Forget the recovery state of ``domain``'s failed migration.
+
+        Drops the partial destination copies and stops the surviving
+        pre-copy tracking bitmap, forcing the next attempt to start from
+        scratch.  Only call between attempts, never mid-migration.
+        """
+        self._drop_partials(domain.domain_id)
+        if domain.host is not None:
+            driver = domain.host.driver_of(domain.domain_id)
+            if driver.has_tracking(TRACKING_NAME):
+                driver.stop_tracking(TRACKING_NAME)
 
     def _collect_divergence(self, domain: Domain, src_driver) -> dict:
         """Divergence bitmaps living on the current host's driver, keyed by
@@ -209,3 +278,80 @@ class Migrator:
     def has_stale_copy(self, domain: Domain, host: Host) -> bool:
         """True if ``host`` holds a stale disk copy usable for IM."""
         return (domain.domain_id, host.name) in self._stale
+
+    def has_partial_copy(self, domain: Domain, host: Host) -> bool:
+        """True if ``host`` holds a failed attempt's partial disk copy."""
+        return (domain.domain_id, host.name) in self._partial
+
+
+class MigrationRetrier:
+    """Re-runs failed migrations with exponential backoff.
+
+    The retry is *incremental* by default: the source's surviving
+    write-tracking bitmap (kept registered across the failure, still
+    absorbing guest writes during the backoff) becomes the first
+    iteration's transfer set, and the destination's partial copy is
+    reused — §V's incremental-migration machinery repurposed as fault
+    tolerance.  With ``incremental=False`` every attempt starts from
+    scratch, which is the baseline the benchmark compares against.
+    """
+
+    def __init__(self, migrator: Migrator, max_attempts: int = 3,
+                 initial_backoff: float = 0.5, backoff_factor: float = 2.0,
+                 incremental: bool = True) -> None:
+        if max_attempts < 1:
+            raise MigrationError("max_attempts must be >= 1")
+        if initial_backoff < 0:
+            raise MigrationError("initial_backoff cannot be negative")
+        if backoff_factor < 1.0:
+            raise MigrationError("backoff_factor must be >= 1")
+        self.migrator = migrator
+        self.env = migrator.env
+        self.max_attempts = max_attempts
+        self.initial_backoff = initial_backoff
+        self.backoff_factor = backoff_factor
+        self.incremental = incremental
+
+    def migrate(self, domain: Domain, destination: Host,
+                config: Optional[MigrationConfig] = None,
+                workload_name: str = "unknown") -> Generator:
+        """Migrate with retries; returns the final attempt's report.
+
+        ``yield from`` inside a process.  The report carries the retry
+        accounting: ``attempts``, ``failed_attempts``, ``backoff_time``.
+        Raises :class:`~repro.errors.MigrationFailed` once
+        ``max_attempts`` attempts have all died.
+        """
+        failures: list[MigrationReport] = []
+        backoff_total = 0.0
+        delay = self.initial_backoff
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                report = yield from self.migrator.migrate(
+                    domain, destination, config, workload_name)
+            except MigrationFailed as failure:
+                if failure.report is not None:
+                    failures.append(failure.report)
+                if attempt == self.max_attempts:
+                    raise MigrationFailed(
+                        f"migration of {domain} failed {attempt} times; "
+                        f"giving up", report=failure.report) from failure
+                if not self.incremental:
+                    self.migrator.discard_partial(domain)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                backoff_total += delay
+                delay *= self.backoff_factor
+                continue
+            report.attempts = attempt
+            report.failed_attempts = failures
+            report.backoff_time = backoff_total
+            return report
+
+    def migrate_process(self, domain: Domain, destination: Host,
+                        config: Optional[MigrationConfig] = None,
+                        workload_name: str = "unknown") -> "Process":
+        """Spawn :meth:`migrate` as a process; run it with ``env.run``."""
+        return self.env.process(
+            self.migrate(domain, destination, config, workload_name),
+            name=f"retry-migrate:{domain.name}->{destination.name}")

@@ -112,6 +112,16 @@ class MigrationReport:
     #: Filled by the consistency check when enabled.
     consistency_verified: bool = False
 
+    # -- retry accounting ---------------------------------------------------
+    #: Attempts this migration took end to end (1 = no failure).  Set by
+    #: :class:`~repro.core.manager.MigrationRetrier` on the final report.
+    attempts: int = 1
+    #: Reports of the failed attempts, in order (each stamped with
+    #: ``extra["failed_phase"]``, wire bytes, phase timings).
+    failed_attempts: list["MigrationReport"] = field(default_factory=list)
+    #: Simulated time spent sleeping between attempts.
+    backoff_time: float = 0.0
+
     #: Scheme-specific extras (e.g. the delta baseline's I/O block time,
     #: the on-demand baseline's residual-dependency stats).
     extra: dict = field(default_factory=dict)
@@ -164,6 +174,23 @@ class MigrationReport:
     def precopy_duration(self) -> float:
         return self.precopy_mem_ended_at - self.precopy_disk_started_at
 
+    @property
+    def migrated_bytes_all_attempts(self) -> int:
+        """Wire bytes across the failed attempts plus the final one."""
+        return self.migrated_bytes + sum(r.migrated_bytes
+                                         for r in self.failed_attempts)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts before the one that (finally) succeeded."""
+        return self.attempts - 1
+
+    @property
+    def attempt_durations(self) -> list[float]:
+        """Wall-clock duration of every attempt, failed ones first."""
+        return ([r.ended_at - r.started_at for r in self.failed_attempts]
+                + [self.ended_at - self.started_at])
+
     def summary(self) -> str:
         """Human-readable multi-line summary."""
         lines = [
@@ -180,4 +207,9 @@ class MigrationReport:
             f" {self.postcopy.pulled_blocks} pulled,"
             f" {self.postcopy.dropped_blocks} dropped)",
         ]
+        if self.attempts > 1:
+            lines.append(
+                f"  attempts             : {self.attempts}"
+                f" ({self.retries} failed,"
+                f" backoff {fmt_time(self.backoff_time)})")
         return "\n".join(lines)

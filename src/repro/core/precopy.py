@@ -46,6 +46,7 @@ class DiskPreCopier:
         config: MigrationConfig,
         initial_indices: Optional[np.ndarray] = None,
         abort_requested=None,
+        resume: bool = False,
     ) -> None:
         self.env = env
         self.driver = driver
@@ -57,6 +58,11 @@ class DiskPreCopier:
         #: Optional callable checked at iteration boundaries; returning
         #: True stops the pre-copy early (migration cancellation).
         self.abort_requested = abort_requested
+        #: True when retrying a failed migration: adopt the surviving
+        #: ``"precopy"`` bitmap (atomically swapped for a fresh one, so no
+        #: write during the retry handshake is ever missed) and start from
+        #: its dirty set instead of the whole device.
+        self.resume = resume
 
     def _fresh_bitmap(self):
         cfg = self.config
@@ -70,12 +76,22 @@ class DiskPreCopier:
 
         # Start tracking *before* the first block is read so no write is
         # ever missed (paper: blkback starts monitoring, then blkd copies).
-        self.driver.start_tracking(TRACKING_NAME, self._fresh_bitmap())
-
-        if self.initial_indices is None:
-            indices = np.arange(vbd.nblocks, dtype=np.int64)
+        if self.resume:
+            # A failed attempt left its bitmap registered; swap it out
+            # atomically so writes during the retry handshake land in the
+            # fresh bitmap while the survivor becomes iteration 1's work.
+            surviving = self.driver.swap_tracking(TRACKING_NAME,
+                                                  self._fresh_bitmap())
+            indices = surviving.dirty_indices()
+            if self.initial_indices is not None:
+                indices = np.union1d(
+                    indices, np.asarray(self.initial_indices, dtype=np.int64))
         else:
-            indices = np.asarray(self.initial_indices, dtype=np.int64)
+            self.driver.start_tracking(TRACKING_NAME, self._fresh_bitmap())
+            if self.initial_indices is None:
+                indices = np.arange(vbd.nblocks, dtype=np.int64)
+            else:
+                indices = np.asarray(self.initial_indices, dtype=np.int64)
 
         iterations: list[IterationStats] = []
         iteration = 1

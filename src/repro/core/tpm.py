@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from ..bitmap import make_bitmap
-from ..errors import MigrationError
+from ..errors import MigrationError, MigrationFailed, NetworkError
 from ..net.channel import Channel
 from ..net.messages import BitmapMsg, ControlMsg, CPUStateMsg
 from ..storage.vbd import VirtualBlockDevice
@@ -63,6 +63,7 @@ class ThreePhaseMigration:
         dest_vbd: Optional[VirtualBlockDevice] = None,
         workload_name: str = "unknown",
         extra_im_bitmaps: Optional[dict] = None,
+        resume: bool = False,
     ) -> None:
         self.env = env
         self.domain = domain
@@ -82,13 +83,28 @@ class ThreePhaseMigration:
         #: missed.  They stayed registered on the source driver through
         #: pre-copy, so pre-resume writes are already in them.
         self.extra_im_bitmaps = extra_im_bitmaps or {}
+        #: True when retrying a failed attempt: the disk pre-copy adopts
+        #: the surviving ``"precopy"`` bitmap instead of registering a
+        #: fresh one and copying the whole device.
+        self.resume = resume
         self._abort_requested = False
         self._committed = False
+        #: Callables invoked as ``observer(phase_name)`` when the migration
+        #: enters a phase — used by the fault injector for phase-triggered
+        #: faults.  Empty by default; notifying costs nothing then.
+        self.phase_observers: list = []
+        self._phase = "init"
+        self._block_streamer: Optional[BlockStreamer] = None
         self.report = MigrationReport(
             scheme="tpm",
             workload=workload_name,
             incremental=initial_indices is not None,
         )
+
+    def _notify_phase(self, name: str) -> None:
+        self._phase = name
+        for observer in self.phase_observers:
+            observer(name)
 
     def request_abort(self) -> bool:
         """Cancel the migration at the next safe point.
@@ -127,66 +143,83 @@ class ThreePhaseMigration:
         ledger_before = self._ledger_before = self._ledger_snapshot()
         src_vbd = self.source.vbd_of(domain.domain_id)
         src_driver = self.source.driver_of(domain.domain_id)
+        dest_vbd: Optional[VirtualBlockDevice] = None
+        self._notify_phase("init")
 
-        # -- initialisation: ask the destination to prepare a VBD ----------
-        yield from self.fwd.send(ControlMsg("prepare-vbd"), category="control",
-                                 limited=False)
-        yield self.fwd.recv()  # destination consumes the request
-        if self.dest_vbd is None:
-            dest_vbd = self.destination.prepare_vbd(
-                src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
-        else:
-            dest_vbd = self.dest_vbd
-            if (dest_vbd.nblocks, dest_vbd.block_size) != (
-                    src_vbd.nblocks, src_vbd.block_size):
-                raise MigrationError(
-                    "stale destination VBD geometry does not match source")
-        yield from self.rev.send(ControlMsg("vbd-ready"), category="control",
-                                 limited=False)
-        yield self.rev.recv()  # source consumes the acknowledgement
+        # A network failure anywhere before the commit point tears the
+        # migration down with the guest untouched on the source; the
+        # write-tracking bitmap is *kept* so a retry can be incremental.
+        try:
+            # -- initialisation: ask the destination to prepare a VBD ------
+            yield from self.fwd.send(ControlMsg("prepare-vbd"),
+                                     category="control", limited=False)
+            yield self.fwd.recv()  # destination consumes the request
+            if self.dest_vbd is None:
+                dest_vbd = self.destination.prepare_vbd(
+                    src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
+            else:
+                dest_vbd = self.dest_vbd
+                if (dest_vbd.nblocks, dest_vbd.block_size) != (
+                        src_vbd.nblocks, src_vbd.block_size):
+                    raise MigrationError(
+                        "stale destination VBD geometry does not match source")
+            yield from self.rev.send(ControlMsg("vbd-ready"),
+                                     category="control", limited=False)
+            yield self.rev.recv()  # source consumes the acknowledgement
 
-        # -- phase 1a: iterative disk pre-copy ----------------------------
-        report.precopy_disk_started_at = env.now
-        block_streamer = BlockStreamer(
-            env, self.source.disk, src_vbd, self.destination.disk, dest_vbd,
-            self.fwd, cfg)
-        initial_indices = self.initial_indices
-        if (initial_indices is None and cfg.guest_aware
-                and self.dest_vbd is None):
-            # Guest-aware first iteration (§VII): never-written blocks are
-            # all-zero on the source and on the fresh destination VBD
-            # alike, so only the allocated set needs to cross the wire.
-            # Only valid against a *fresh* destination — a stale IM copy
-            # may hold old data in blocks that look unallocated here.
-            initial_indices = src_vbd.allocated_indices()
-            report.extra["guest_aware_skipped_blocks"] = int(
-                src_vbd.nblocks - initial_indices.size)
-        precopier = DiskPreCopier(env, src_driver, block_streamer, cfg,
-                                  initial_indices=initial_indices,
-                                  abort_requested=lambda: self._abort_requested)
-        report.disk_iterations = yield from precopier.run()
-        report.precopy_disk_ended_at = env.now
-        if self._abort_requested:
-            return (yield from self._abort(src_driver, memory_logging=False))
+            # -- phase 1a: iterative disk pre-copy ------------------------
+            self._notify_phase("precopy-disk")
+            report.precopy_disk_started_at = env.now
+            block_streamer = BlockStreamer(
+                env, self.source.disk, src_vbd, self.destination.disk,
+                dest_vbd, self.fwd, cfg)
+            self._block_streamer = block_streamer
+            initial_indices = self.initial_indices
+            if (initial_indices is None and cfg.guest_aware
+                    and self.dest_vbd is None and not self.resume):
+                # Guest-aware first iteration (§VII): never-written blocks
+                # are all-zero on the source and on the fresh destination
+                # VBD alike, so only the allocated set needs to cross the
+                # wire.  Only valid against a *fresh* destination — a stale
+                # IM copy may hold old data in blocks that look unallocated
+                # here.
+                initial_indices = src_vbd.allocated_indices()
+                report.extra["guest_aware_skipped_blocks"] = int(
+                    src_vbd.nblocks - initial_indices.size)
+            precopier = DiskPreCopier(
+                env, src_driver, block_streamer, cfg,
+                initial_indices=initial_indices,
+                abort_requested=lambda: self._abort_requested,
+                resume=self.resume)
+            report.disk_iterations = yield from precopier.run()
+            report.precopy_disk_ended_at = env.now
+            if self._abort_requested:
+                return (yield from self._abort(src_driver,
+                                               memory_logging=False))
 
-        # -- phase 1b: iterative memory pre-copy --------------------------
-        shadow_memory: Optional[GuestMemory] = None
-        report.precopy_mem_started_at = env.now
-        if cfg.include_memory:
-            shadow_memory = GuestMemory(domain.memory.npages,
-                                        domain.memory.page_size,
-                                        clock=domain.memory.clock)
-            page_streamer = PageStreamer(env, domain.memory, shadow_memory,
-                                         self.fwd, cfg)
-            memcopier = MemoryPreCopier(env, domain.memory, page_streamer, cfg)
-            report.mem_rounds = yield from memcopier.run()
-        report.precopy_mem_ended_at = env.now
-        if self._abort_requested:
-            return (yield from self._abort(
-                src_driver, memory_logging=cfg.include_memory))
+            # -- phase 1b: iterative memory pre-copy ----------------------
+            self._notify_phase("precopy-mem")
+            shadow_memory: Optional[GuestMemory] = None
+            report.precopy_mem_started_at = env.now
+            if cfg.include_memory:
+                shadow_memory = GuestMemory(domain.memory.npages,
+                                            domain.memory.page_size,
+                                            clock=domain.memory.clock)
+                page_streamer = PageStreamer(env, domain.memory,
+                                             shadow_memory, self.fwd, cfg)
+                memcopier = MemoryPreCopier(env, domain.memory, page_streamer,
+                                            cfg)
+                report.mem_rounds = yield from memcopier.run()
+            report.precopy_mem_ended_at = env.now
+            if self._abort_requested:
+                return (yield from self._abort(
+                    src_driver, memory_logging=cfg.include_memory))
+        except NetworkError as exc:
+            raise self._fail(exc, src_driver, dest_vbd) from exc
 
         # -- phase 2: freeze-and-copy -------------------------------------
         self._committed = True
+        self._notify_phase("freeze")
         domain.suspend()
         report.suspended_at = env.now
         # Drain guest I/O already queued at the disk so its writes are
@@ -195,6 +228,7 @@ class ThreePhaseMigration:
         if cfg.suspend_overhead > 0:
             yield env.timeout(cfg.suspend_overhead)
 
+        cpu_snapshot = None
         if cfg.include_memory and shadow_memory is not None:
             final_dirty = domain.memory.stop_logging()
             pages = final_dirty.dirty_indices()
@@ -203,6 +237,10 @@ class ThreePhaseMigration:
                                          self.fwd, cfg)
             yield from page_streamer.stream(pages, category="memory",
                                             limited=False)
+            # Capture the register state *now*, while the guest is frozen
+            # on the source — this snapshot is what the CPUStateMsg ships
+            # and what the destination must resume from.
+            cpu_snapshot = domain.cpu.capture()
             yield from self.fwd.send(
                 CPUStateMsg(domain.cpu.state_nbytes), category="cpu",
                 limited=False)
@@ -227,7 +265,7 @@ class ThreePhaseMigration:
         self.source.detach_domain(domain.domain_id)
         dst_driver = self.destination.attach_domain(domain, dest_vbd)
         if cfg.include_memory and shadow_memory is not None:
-            domain.cpu.restore(domain.cpu.capture())
+            domain.cpu.restore(cpu_snapshot)
             domain.memory = shadow_memory
 
         # BM_2: the destination's copy of the shipped bitmap;
@@ -261,6 +299,7 @@ class ThreePhaseMigration:
         report.resumed_at = env.now
 
         # -- phase 3: post-copy push-and-pull -----------------------------
+        self._notify_phase("postcopy")
         report.postcopy = yield from synchronizer.run()
         report.ended_at = report.postcopy.ended_at
 
@@ -273,16 +312,22 @@ class ThreePhaseMigration:
             # apply lands (at which point the IM bitmap explains it), so
             # retry briefly rather than quiescing — a zero-think-time
             # guest never drains, but these transients always resolve.
-            for _attempt in range(200):
+            verify_started = env.now
+            deadline = verify_started + cfg.verify_retry_budget
+            while True:
                 unexplained = self._unexplained_diff(src_vbd, dest_vbd,
                                                      dst_driver)
                 if unexplained.size == 0:
                     break
-                yield env.timeout(5e-3)
-            else:
-                raise MigrationError(
-                    f"{unexplained.size} blocks inconsistent after "
-                    f"migration; first: {unexplained[:10].tolist()}")
+                if env.now >= deadline:
+                    preview = unexplained[:10].tolist()
+                    suffix = ", ..." if unexplained.size > 10 else ""
+                    raise MigrationError(
+                        f"{unexplained.size} blocks inconsistent after "
+                        f"migration (waited "
+                        f"{env.now - verify_started:.3f}s); offending "
+                        f"blocks: {preview}{suffix}")
+                yield env.timeout(cfg.verify_retry_interval)
             report.consistency_verified = True
         return report
 
@@ -306,6 +351,39 @@ class ThreePhaseMigration:
         report.ended_at = self.env.now
         report.bytes_by_category = self._ledger_delta(self._ledger_before)
         return report
+
+    def _fail(self, exc: NetworkError, src_driver,
+              dest_vbd: Optional[VirtualBlockDevice]) -> MigrationFailed:
+        """Stamp the report for a mid-flight death and build the exception.
+
+        The guest keeps running on the source untouched.  Crucially the
+        ``"precopy"`` tracking bitmap is **left registered**: it absorbs
+        the blocks the failed batch never confirmed at the destination
+        plus every write during the retry backoff, so the next attempt is
+        an incremental migration over exactly the out-of-date set.
+        """
+        report = self.report
+        surviving = 0
+        keep_vbd = None
+        if src_driver.has_tracking(TRACKING_NAME):
+            bitmap = src_driver.tracking_bitmap(TRACKING_NAME)
+            if self._block_streamer is not None:
+                pending = self._block_streamer.unconfirmed_indices()
+                if pending.size:
+                    bitmap.set_many(pending)
+            surviving = bitmap.count()
+            keep_vbd = dest_vbd
+        if self.domain.memory.logging:
+            self.domain.memory.stop_logging()
+        report.extra["failed"] = True
+        report.extra["failure"] = str(exc)
+        report.extra["failed_phase"] = self._phase
+        report.extra["surviving_dirty_blocks"] = int(surviving)
+        report.ended_at = self.env.now
+        report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        return MigrationFailed(
+            f"migration of {self.domain} failed during {self._phase}: {exc}",
+            report=report, dest_vbd=keep_vbd)
 
     def _ledger_snapshot(self) -> dict[str, int]:
         snap = dict(self.fwd.bytes_by_category)

@@ -55,6 +55,24 @@ class BlockStreamer:
         self.dst_vbd = dst_vbd
         self.channel = channel
         self.config = config
+        #: Chunks of the in-flight (or last) batch, in send order, plus how
+        #: many the destination has confirmed written — so a failed batch
+        #: can report exactly which blocks never landed.
+        self._chunks: list[np.ndarray] = []
+        self._confirmed = 0
+
+    def unconfirmed_indices(self) -> np.ndarray:
+        """Blocks of the current batch not yet written at the destination.
+
+        The write stage is FIFO, so the confirmed chunks are exactly the
+        prefix of the send order; everything after is conservatively
+        treated as lost (an in-flight delivery may still land, but within
+        one link latency — negligible against any retry backoff).
+        """
+        pending = self._chunks[self._confirmed:]
+        if not pending:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pending)
 
     def stream(self, indices: np.ndarray, category: str = "disk",
                limited: bool = True) -> Generator:
@@ -65,6 +83,8 @@ class BlockStreamer:
         sending.
         """
         indices = np.asarray(indices, dtype=np.int64)
+        self._chunks = []
+        self._confirmed = 0
         if indices.size == 0:
             return StreamStats()
 
@@ -74,6 +94,7 @@ class BlockStreamer:
         prio = cfg.migration_disk_priority
         nchunks = (indices.size + cfg.chunk_blocks - 1) // cfg.chunk_blocks
         chunks = np.array_split(indices, nchunks)
+        self._chunks = chunks
         ready: Store = Store(env, capacity=2)
 
         def reader(env):
@@ -98,6 +119,7 @@ class BlockStreamer:
                 yield from self.dst_disk.write(msg.nblocks * block_size,
                                                priority=prio)
                 self.dst_vbd.import_blocks(msg.indices, msg.stamps, msg.data)
+                self._confirmed += 1
 
         read_proc = env.process(reader(env), name="stream:read")
         send_proc = env.process(sender(env), name="stream:send")

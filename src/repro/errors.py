@@ -45,3 +45,27 @@ class MigrationError(ReproError):
 class MigrationAborted(MigrationError):
     """Raised when a migration is proactively aborted, e.g. because the
     storage dirty rate exceeds the transfer rate for too many iterations."""
+
+
+class MigrationFailed(MigrationError):
+    """Raised when an in-flight migration dies mid-way (link blackout, host
+    crash) rather than being cancelled on purpose.
+
+    Carries the partial :class:`~repro.core.metrics.MigrationReport` and —
+    when the pre-copy write-tracking bitmap survived on the source — the
+    destination's partially populated VBD, so a retry can resume
+    incrementally instead of restarting from scratch (§V's mechanism
+    repurposed as fault tolerance).
+    """
+
+    def __init__(self, message: str, report=None, dest_vbd=None) -> None:
+        super().__init__(message)
+        #: Partial report of the failed attempt (phase timings, wire bytes).
+        self.report = report
+        #: Destination VBD holding the blocks confirmed before the failure,
+        #: or None when nothing usable survived.
+        self.dest_vbd = dest_vbd
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault-plan specifications."""

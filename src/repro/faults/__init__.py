@@ -1,0 +1,40 @@
+"""Deterministic fault injection for migration experiments.
+
+The simulation's perfect network is a lie production systems cannot
+afford: the paper's own robustness story (§V — incremental migration as
+cheap recovery) only matters because migrations fail.  This package makes
+them fail on purpose, reproducibly:
+
+* :class:`FaultPlan` — a declarative schedule of link blackouts,
+  bandwidth/latency degradation windows, and host crashes, triggered at
+  absolute simulated times or at migration phase marks;
+* :class:`FaultInjector` — wires a plan into the links and hosts of a
+  testbed (``FaultInjector(env, plan).inject(migrator)``).
+
+A failed pre-copy raises :class:`~repro.errors.MigrationFailed`, keeps
+the source's write-tracking bitmap registered, and preserves the
+destination's partial copy; :class:`~repro.core.manager.MigrationRetrier`
+then retries with exponential backoff, transferring only the blocks
+dirtied or unconfirmed since the failure.
+"""
+
+from .injector import FaultInjector, LinkFaultState
+from .plan import (
+    DIRECTIONS,
+    PHASES,
+    BlackoutSpec,
+    CrashSpec,
+    DegradeSpec,
+    FaultPlan,
+)
+
+__all__ = [
+    "BlackoutSpec",
+    "CrashSpec",
+    "DIRECTIONS",
+    "DegradeSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultState",
+    "PHASES",
+]

@@ -1,0 +1,160 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a schedule of adverse events — link blackouts,
+bandwidth/latency degradation windows, and host crashes — that a
+:class:`~repro.faults.injector.FaultInjector` wires into a testbed's
+links and hosts.  Every fault is triggered either at an absolute
+simulated time (``at=``) or at a named migration phase (``phase=``, with
+an optional ``offset`` after the phase begins), so a plan replays
+identically run after run: there is no randomness anywhere in the layer.
+
+Phase names match the marks :class:`~repro.core.tpm.ThreePhaseMigration`
+announces: ``"init"``, ``"precopy-disk"``, ``"precopy-mem"``,
+``"freeze"``, ``"postcopy"``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import FaultError
+
+#: Phase marks emitted by the migration, usable as fault triggers.
+PHASES = ("init", "precopy-disk", "precopy-mem", "freeze", "postcopy")
+
+#: Valid link directions, relative to the ``Migrator.connect(a, b)`` order:
+#: ``"forward"`` is the a→b direction, ``"backward"`` is b→a.
+DIRECTIONS = ("forward", "backward", "both")
+
+
+def _check_trigger(at: Optional[float], phase: Optional[str],
+                   offset: float) -> None:
+    if (at is None) == (phase is None):
+        raise FaultError("exactly one of 'at' and 'phase' must be given")
+    if at is not None and (not math.isfinite(at) or at < 0):
+        raise FaultError(f"trigger time must be finite and >= 0, got {at!r}")
+    if phase is not None and phase not in PHASES:
+        raise FaultError(f"unknown phase {phase!r}; valid phases: {PHASES}")
+    if offset < 0:
+        raise FaultError(f"offset cannot be negative, got {offset!r}")
+
+
+def _check_direction(direction: str) -> None:
+    if direction not in DIRECTIONS:
+        raise FaultError(
+            f"unknown direction {direction!r}; valid: {DIRECTIONS}")
+
+
+@dataclass(frozen=True)
+class BlackoutSpec:
+    """A window during which the link carries nothing at all."""
+
+    duration: float
+    at: Optional[float] = None
+    phase: Optional[str] = None
+    offset: float = 0.0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        _check_trigger(self.at, self.phase, self.offset)
+        _check_direction(self.direction)
+        if self.duration <= 0:
+            raise FaultError(
+                f"blackout duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class DegradeSpec:
+    """A window of reduced bandwidth and/or added latency (WAN weather)."""
+
+    duration: float
+    at: Optional[float] = None
+    phase: Optional[str] = None
+    offset: float = 0.0
+    direction: str = "both"
+    #: Multiplier on the link's line rate while active (0 < factor <= 1).
+    bandwidth_factor: float = 0.5
+    #: Extra one-way propagation latency while active, in seconds.
+    extra_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_trigger(self.at, self.phase, self.offset)
+        _check_direction(self.direction)
+        if self.duration <= 0:
+            raise FaultError(
+                f"degradation duration must be positive, got {self.duration!r}")
+        if not 0 < self.bandwidth_factor <= 1:
+            raise FaultError(
+                f"bandwidth_factor must be in (0, 1], got {self.bandwidth_factor!r}")
+        if self.extra_latency < 0:
+            raise FaultError(
+                f"extra_latency cannot be negative, got {self.extra_latency!r}")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """A host failure: the named machine drops off the network for good."""
+
+    host: str
+    at: Optional[float] = None
+    phase: Optional[str] = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_trigger(self.at, self.phase, self.offset)
+        if not self.host:
+            raise FaultError("crash needs a host name")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults for one experiment.
+
+    ``send_timeout`` is the failure-detection knob: a send that would have
+    to wait longer than this inside a blackout raises
+    :class:`~repro.errors.NetworkError` instead (TCP-timeout analogue);
+    shorter stalls are invisible to the sender apart from the added delay.
+    """
+
+    send_timeout: float = 0.25
+    blackouts: list[BlackoutSpec] = field(default_factory=list)
+    degradations: list[DegradeSpec] = field(default_factory=list)
+    crashes: list[CrashSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.send_timeout <= 0:
+            raise FaultError(
+                f"send_timeout must be positive, got {self.send_timeout!r}")
+
+    # -- builder helpers (each returns self, for chaining) ---------------
+
+    def blackout(self, duration: float, at: Optional[float] = None,
+                 phase: Optional[str] = None, offset: float = 0.0,
+                 direction: str = "both") -> "FaultPlan":
+        """Schedule a total link outage of ``duration`` seconds."""
+        self.blackouts.append(BlackoutSpec(duration, at, phase, offset,
+                                           direction))
+        return self
+
+    def degrade(self, duration: float, at: Optional[float] = None,
+                phase: Optional[str] = None, offset: float = 0.0,
+                direction: str = "both", bandwidth_factor: float = 0.5,
+                extra_latency: float = 0.0) -> "FaultPlan":
+        """Schedule a bandwidth/latency degradation window."""
+        self.degradations.append(DegradeSpec(
+            duration, at, phase, offset, direction, bandwidth_factor,
+            extra_latency))
+        return self
+
+    def crash(self, host: str, at: Optional[float] = None,
+              phase: Optional[str] = None, offset: float = 0.0) -> "FaultPlan":
+        """Schedule a permanent host failure."""
+        self.crashes.append(CrashSpec(host, at, phase, offset))
+        return self
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules no fault at all."""
+        return not (self.blackouts or self.degradations or self.crashes)

@@ -83,7 +83,10 @@ class Channel:
             nbytes = message.wire_nbytes
         if limited:
             yield from self.limiter.consume(nbytes)
-        yield from self.link.transmit(nbytes, priority=priority)
+        try:
+            yield from self.link.transmit(nbytes, priority=priority)
+        except NetworkError as exc:
+            raise NetworkError(f"{self.name}: send failed: {exc}") from exc
         self.bytes_by_category[category] += nbytes
         self.messages_sent += 1
         self.env.process(self._deliver(message, decompress),
@@ -91,7 +94,7 @@ class Channel:
 
     def _deliver(self, message: Message, decompress_time: float = 0.0
                  ) -> Generator:
-        arrival = self.env.now + self.link.latency + decompress_time
+        arrival = self.env.now + self.link.effective_latency + decompress_time
         # A small fast message must not overtake a large one still being
         # decompressed: clamp to the previous message's arrival.
         arrival = max(arrival, self._delivery_floor)

@@ -40,10 +40,21 @@ class Link:
         self._wire = Resource(env, capacity=1)
         self.bytes_sent = 0
         self.busy_time = 0.0
+        #: Optional :class:`~repro.faults.injector.LinkFaultState` installed
+        #: by a fault injector.  None (the default) keeps the pristine
+        #: fast path: no extra branches taken, timing byte-identical.
+        self.faults = None
 
     def transmission_time(self, nbytes: int) -> float:
         """Serialization delay for ``nbytes`` at line rate."""
         return nbytes / self.bandwidth
+
+    @property
+    def effective_latency(self) -> float:
+        """Propagation latency including any active degradation window."""
+        if self.faults is None:
+            return self.latency
+        return self.latency + self.faults.extra_latency(self.env.now)
 
     def transmit(self, nbytes: int, priority: int = 0) -> Generator:
         """Occupy the wire for ``nbytes``; ``yield from`` inside a process.
@@ -51,12 +62,23 @@ class Link:
         Returns once the last byte is on the wire — add :attr:`latency`
         before the receiver may see it (the channel does this).  ``priority``
         lets urgent traffic (pulled blocks) jump the queue.
+
+        With a fault state installed, a transmit starting inside a blackout
+        stalls until the window ends (or raises
+        :class:`~repro.errors.NetworkError` once the stall exceeds the
+        plan's send timeout), and active degradation windows stretch the
+        serialization delay by the inverse of their bandwidth factor.
         """
         if nbytes < 0:
             raise NetworkError(f"negative transmit size {nbytes}")
         with self._wire.request(priority=priority) as grant:
             yield grant
-            duration = self.transmission_time(nbytes)
+            if self.faults is not None:
+                yield from self.faults.gate(self)
+                duration = (self.transmission_time(nbytes)
+                            / self.faults.bandwidth_factor(self.env.now))
+            else:
+                duration = self.transmission_time(nbytes)
             yield self.env.timeout(duration)
             self.busy_time += duration
         self.bytes_sent += nbytes

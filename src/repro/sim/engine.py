@@ -112,18 +112,20 @@ class Environment:
 
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.callbacks is None:  # already processed
-                if not stop_event._ok:
-                    raise stop_event.value
-                return stop_event.value
-            done = {"flag": False}
-            stop_event.callbacks.append(lambda _e: done.__setitem__("flag", True))
-            while not done["flag"]:
-                if not self._queue:
-                    raise SimulationError(
-                        f"run(until={stop_event!r}) but the event queue drained first")
-                self.step()
+            if stop_event.callbacks is not None:  # not yet processed
+                done = {"flag": False}
+                stop_event.callbacks.append(
+                    lambda _e: done.__setitem__("flag", True))
+                while not done["flag"]:
+                    if not self._queue:
+                        raise SimulationError(
+                            f"run(until={stop_event!r}) but the event queue "
+                            f"drained first")
+                    self.step()
             if not stop_event._ok:
+                # Defuse in the already-processed case too: raising here
+                # hands the failure to the caller, so the watchdog in
+                # step() must not surface it a second time.
                 stop_event.defuse()
                 raise stop_event.value
             return stop_event.value

@@ -101,6 +101,10 @@ class BackendDriver:
         except KeyError:
             raise StorageError(f"no tracking bitmap named {name!r}") from None
 
+    def has_tracking(self, name: str) -> bool:
+        """True when a bitmap is registered under ``name``."""
+        return name in self._tracking
+
     @property
     def is_tracking(self) -> bool:
         return bool(self._tracking)

@@ -40,6 +40,9 @@ class Host:
         self._domains: dict[int, Domain] = {}
         self._vbds: dict[int, VirtualBlockDevice] = {}
         self._drivers: dict[int, BackendDriver] = {}
+        #: Set by the fault injector when this machine dies; a migration
+        #: touching a crashed host fails immediately.
+        self.crashed = False
 
     # -- storage provisioning ------------------------------------------------
 

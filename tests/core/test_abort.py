@@ -1,5 +1,6 @@
 """Tests for migration cancellation (abort during pre-copy)."""
 
+import numpy as np
 import pytest
 
 from repro.core import IM_TRACKING_NAME, TRACKING_NAME
@@ -104,3 +105,60 @@ class TestAbort:
         bed.env.process(aborter(bed.env))
         report = bed.migrate()
         assert report.migrated_bytes > 0  # partial pre-copy was paid for
+
+
+class TestAbortStateInvariance:
+    """Property: an abort requested inside *any* disk pre-copy iteration
+    leaves the source exactly as a migration-free run would — same
+    tracking-bitmap registry, no memory logging, the domain running on
+    the source, and (absent guest writes) a bit-identical VBD."""
+
+    WRITER = dict(region=(0, 400), interval=0.004, seed=3)
+
+    def _probe_boundaries(self, make_bed, with_writer):
+        """Iteration end times of an identical, uninterrupted migration."""
+        bed = make_bed()
+        if with_writer:
+            bed.random_writer(**self.WRITER)
+        report = bed.migrate()
+        return [it.ended_at for it in report.disk_iterations]
+
+    def _assert_pristine(self, bed, report):
+        assert report.extra["aborted"] is True
+        assert bed.domain.host is bed.source
+        assert bed.domain.running
+        driver = bed.source.driver_of(bed.domain.domain_id)
+        assert not driver.is_tracking  # registry exactly as pre-migration
+        assert not bed.domain.memory.logging
+
+    def test_abort_at_every_iteration_boundary_with_writes(self, make_bed):
+        boundaries = self._probe_boundaries(make_bed, with_writer=True)
+        assert len(boundaries) >= 2  # the writer forces extra iterations
+        for end in boundaries:
+            bed = make_bed()
+            bed.random_writer(**self.WRITER)
+
+            def aborter(env, at=end):
+                # Land the request *inside* the iteration; it takes
+                # effect at this iteration's boundary.
+                yield env.timeout(max(at - 1e-6, 0.0))
+                bed.migrator.abort(bed.domain)
+
+            bed.env.process(aborter(bed.env))
+            report = bed.migrate()
+            self._assert_pristine(bed, report)
+
+    def test_abort_leaves_source_vbd_bit_identical(self, make_bed):
+        boundaries = self._probe_boundaries(make_bed, with_writer=False)
+        for end in boundaries:
+            bed = make_bed()
+            before = bed.vbd.snapshot()
+
+            def aborter(env, at=end):
+                yield env.timeout(max(at - 1e-6, 0.0))
+                bed.migrator.abort(bed.domain)
+
+            bed.env.process(aborter(bed.env))
+            report = bed.migrate()
+            self._assert_pristine(bed, report)
+            assert np.array_equal(bed.vbd.snapshot(), before)

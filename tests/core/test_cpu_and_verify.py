@@ -1,0 +1,106 @@
+"""Regression tests for two freeze-and-copy bugs.
+
+1. CPU state must be captured on the *source* before the domain moves and
+   restored on the destination — a self-round-trip after detach/attach
+   silently resumed from whatever the in-memory object held at that point.
+2. The consistency-verification wait is a configurable budget, and a
+   budget overrun must name the offending blocks and the time spent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tpm import ThreePhaseMigration
+from repro.errors import MigrationError
+
+
+class TestCPUStateTransfer:
+    def test_cpu_context_survives_host_side_corruption(self, bed):
+        """The destination resumes from the snapshot shipped at freeze,
+        not from whatever the CPU object holds after detach."""
+        bed.domain.cpu.context["pc"] = 0x1234
+        original_detach = bed.source.detach_domain
+
+        def corrupting_detach(domain_id):
+            result = original_detach(domain_id)
+            # Host-side teardown scribbles on the live CPU object between
+            # detach and attach; the shipped snapshot must win.
+            bed.domain.cpu.context["pc"] = 0xDEAD
+            return result
+
+        bed.source.detach_domain = corrupting_detach
+        report = bed.migrate()
+        assert report.consistency_verified
+        assert bed.domain.host is bed.destination
+        assert bed.domain.cpu.context["pc"] == 0x1234
+
+    def test_cpu_version_bumped_exactly_once(self, bed):
+        before = bed.domain.cpu.version
+        bed.migrate()
+        # One capture (at freeze, when the CPUStateMsg ships) and the
+        # restore adopts that snapshot's version.
+        assert bed.domain.cpu.version == before + 1
+
+    def test_writes_after_capture_would_be_lost_loudly(self, bed):
+        """Sanity: mutating after the freeze capture does NOT survive —
+        the snapshot semantics are capture-at-freeze, not capture-latest."""
+        bed.domain.cpu.context["pc"] = 1
+
+        def mutate_late(domain_id):
+            result = original(domain_id)
+            bed.domain.cpu.context["scratch"] = True
+            return result
+
+        original = bed.source.detach_domain
+        bed.source.detach_domain = mutate_late
+        bed.migrate()
+        assert "scratch" not in bed.domain.cpu.context
+
+
+class TestVerifyBudget:
+    def run_failing_verify(self, bed, monkeypatch, diff, budget=0.05,
+                           interval=0.01):
+        monkeypatch.setattr(
+            ThreePhaseMigration, "_unexplained_diff",
+            lambda self, *args: np.asarray(diff, dtype=np.int64))
+        cfg = bed.config.replace(verify_retry_budget=budget,
+                                 verify_retry_interval=interval)
+        proc = bed.migrator.migrate_process(bed.domain, bed.destination, cfg)
+        with pytest.raises(MigrationError) as excinfo:
+            bed.env.run(until=proc)
+        return str(excinfo.value)
+
+    def test_budget_overrun_names_blocks_and_wait(self, bed, monkeypatch):
+        message = self.run_failing_verify(bed, monkeypatch, [7, 9])
+        assert "2 blocks" in message
+        assert "[7, 9]" in message
+        assert "waited 0.050" in message
+
+    def test_long_block_list_is_truncated(self, bed, monkeypatch):
+        message = self.run_failing_verify(bed, monkeypatch, list(range(20)))
+        assert "20 blocks" in message
+        assert ", ..." in message
+        assert "19" not in message.split("offending")[1]
+
+    def test_zero_budget_fails_on_first_check(self, bed, monkeypatch):
+        message = self.run_failing_verify(bed, monkeypatch, [3], budget=0.0)
+        assert "waited 0.000" in message
+
+    def test_transient_diff_resolves_within_budget(self, bed, monkeypatch):
+        """A diff that clears while waiting must not raise."""
+        calls = {"n": 0}
+        real = ThreePhaseMigration._unexplained_diff
+
+        def flaky(self, *args):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                return np.array([42], dtype=np.int64)
+            return real(self, *args)
+
+        monkeypatch.setattr(ThreePhaseMigration, "_unexplained_diff", flaky)
+        cfg = bed.config.replace(verify_retry_budget=0.5,
+                                 verify_retry_interval=0.01)
+        proc = bed.migrator.migrate_process(bed.domain, bed.destination, cfg)
+        report = bed.env.run(until=proc)
+        assert report.consistency_verified
+        assert calls["n"] >= 3

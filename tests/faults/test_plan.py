@@ -1,0 +1,79 @@
+"""Validation tests for FaultPlan and its specs."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import BlackoutSpec, CrashSpec, DegradeSpec, FaultPlan
+
+
+class TestTriggers:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(FaultError, match="exactly one"):
+            BlackoutSpec(duration=1.0)
+        with pytest.raises(FaultError, match="exactly one"):
+            BlackoutSpec(duration=1.0, at=2.0, phase="freeze")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(FaultError, match="finite"):
+            BlackoutSpec(duration=1.0, at=-1.0)
+
+    def test_rejects_infinite_time(self):
+        with pytest.raises(FaultError, match="finite"):
+            BlackoutSpec(duration=1.0, at=float("inf"))
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(FaultError, match="unknown phase"):
+            BlackoutSpec(duration=1.0, phase="warp")
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(FaultError, match="offset"):
+            BlackoutSpec(duration=1.0, phase="freeze", offset=-0.1)
+
+    def test_accepts_phase_trigger(self):
+        spec = BlackoutSpec(duration=1.0, phase="precopy-disk", offset=0.5)
+        assert spec.phase == "precopy-disk"
+
+
+class TestSpecs:
+    def test_blackout_needs_positive_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            BlackoutSpec(duration=0.0, at=1.0)
+
+    def test_blackout_rejects_bad_direction(self):
+        with pytest.raises(FaultError, match="direction"):
+            BlackoutSpec(duration=1.0, at=1.0, direction="sideways")
+
+    def test_degrade_bandwidth_factor_bounds(self):
+        with pytest.raises(FaultError, match="bandwidth_factor"):
+            DegradeSpec(duration=1.0, at=1.0, bandwidth_factor=0.0)
+        with pytest.raises(FaultError, match="bandwidth_factor"):
+            DegradeSpec(duration=1.0, at=1.0, bandwidth_factor=1.5)
+        DegradeSpec(duration=1.0, at=1.0, bandwidth_factor=1.0)  # ok
+
+    def test_degrade_rejects_negative_latency(self):
+        with pytest.raises(FaultError, match="extra_latency"):
+            DegradeSpec(duration=1.0, at=1.0, extra_latency=-1e-3)
+
+    def test_crash_needs_host_name(self):
+        with pytest.raises(FaultError, match="host"):
+            CrashSpec(host="", at=1.0)
+
+
+class TestPlan:
+    def test_send_timeout_must_be_positive(self):
+        with pytest.raises(FaultError, match="send_timeout"):
+            FaultPlan(send_timeout=0.0)
+
+    def test_builders_chain_and_fill(self):
+        plan = (FaultPlan()
+                .blackout(duration=1.0, at=2.0)
+                .degrade(duration=0.5, phase="precopy-mem",
+                         bandwidth_factor=0.25)
+                .crash("source", at=3.0))
+        assert len(plan.blackouts) == 1
+        assert len(plan.degradations) == 1
+        assert len(plan.crashes) == 1
+        assert not plan.empty
+
+    def test_empty(self):
+        assert FaultPlan().empty

@@ -92,3 +92,51 @@ class TestRunUntilEvent:
         env.process(failer(env, ev))
         with pytest.raises(KeyError):
             env.run(until=ev)
+
+    def test_live_failed_event_defused_when_waiter_handled_it(self, env):
+        """Live branch: a failure already handled by a waiter is re-raised
+        to the run(until=...) caller and left defused."""
+        ev = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            ev.fail(ValueError("boom"))
+
+        def waiter(env):
+            try:
+                yield ev
+            except ValueError:
+                pass
+
+        env.process(failer(env))
+        env.process(waiter(env))
+        with pytest.raises(ValueError):
+            env.run(until=ev)
+        assert ev._defused
+
+    def test_already_processed_failed_event_raises_and_defuses(self, env):
+        """The already-processed branch must behave like the live one:
+        raise the failure AND defuse it."""
+
+        def failer(env):
+            yield env.timeout(1)
+            raise KeyError("k")
+
+        proc = env.process(failer(env))
+        with pytest.raises(KeyError):
+            env.run(until=proc)  # watchdog path; leaves proc undefused
+        assert not proc._defused
+        # Second run hits the already-processed branch: it hands the
+        # failure to this caller, so it must defuse like the live branch.
+        with pytest.raises(KeyError):
+            env.run(until=proc)
+        assert proc._defused
+
+    def test_preprocessed_failed_event_defused_by_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        env.run()  # processes the event; defused, so no crash
+        with pytest.raises(ValueError):
+            env.run(until=ev)
+        assert ev._defused
