@@ -14,7 +14,7 @@ the paper's comparative claims become one table:
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import format_table
 from repro.analysis.experiments import run_baseline_experiment
 
@@ -31,11 +31,13 @@ def test_scheme_comparison(benchmark, scale):
         for scheme in ("tpm", "shared-storage", "freeze-and-copy",
                        "delta-queue", "on-demand"):
             report, bed, mig = run_baseline_experiment(
-                scheme, "specweb", scale=comp_scale, warmup=10.0, tail=10.0)
+                scheme, "specweb", scale=comp_scale, warmup=10.0, tail=10.0,
+                observe=observing())
             rows[scheme] = (report, mig)
             if scheme == "on-demand":
                 mig.stop()
                 bed.env.run(until=bed.env.now + 0.1)
+            dump_trace(bed.env, f"baseline_{scheme}")
         return rows
 
     results = run_once(benchmark, run_all)

@@ -9,7 +9,7 @@ WAN-class path (network-bound: time drops roughly with the ratio).
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import build_testbed, format_table
 from repro.core import MigrationConfig
 from repro.units import MB
@@ -33,11 +33,14 @@ def test_compression_sweep(benchmark, scale):
                                       compress=ratio > 1.0,
                                       compression_ratio=max(ratio, 1.0))
                 bed = build_testbed("video", scale=sweep_scale, seed=1,
-                                    config=cfg)
+                                    config=cfg, observe=observing())
                 bed.start_workload()
                 bed.run_for(5.0)
                 report = bed.migrate(config=cfg)
                 assert report.consistency_verified
+                dump_trace(bed.env,
+                           f"compression_{'wan' if limit else 'lan'}"
+                           f"_{ratio:.0f}x")
                 rows.append([path_label,
                              "off" if ratio == 1.0 else f"{ratio:.0f}:1",
                              report.total_migration_time,

@@ -15,7 +15,7 @@
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import (
     build_testbed,
     format_table,
@@ -39,11 +39,15 @@ def test_guest_aware_usage_sweep(benchmark, scale):
             for aware in (False, True):
                 cfg = MigrationConfig(guest_aware=aware)
                 bed = build_testbed("idle", scale=sweep_scale,
-                                    prefill=usage, config=cfg)
+                                    prefill=usage, config=cfg,
+                                    observe=observing())
                 bed.start_workload()
                 bed.run_for(1.0)
                 report = bed.migrate(config=cfg)
                 assert report.consistency_verified
+                dump_trace(bed.env,
+                           f"guest_aware_{usage:.2f}_"
+                           f"{'aware' if aware else 'blind'}")
                 if aware:
                     rows.append([f"{usage * 100:.0f} %",
                                  prev_data, report.migrated_mb,
@@ -74,7 +78,8 @@ def test_multi_host_im(benchmark, scale):
     from repro.vm import Host
 
     def run_ring(multi):
-        bed = build_testbed("kernelbuild", scale=min(scale, 0.02), seed=2)
+        bed = build_testbed("kernelbuild", scale=min(scale, 0.02), seed=2,
+                            observe=observing())
         bed.migrator.multi_host_im = multi
         third = Host(bed.env, "third",
                      PhysicalDisk(bed.env, 60 * MiB, 52 * MiB, 0.5e-3),
@@ -88,6 +93,7 @@ def test_multi_host_im(benchmark, scale):
         bed.migrate(destination=third)             # B -> C
         bed.run_for(10.0)
         back = bed.migrate(destination=bed.source)  # C -> A
+        dump_trace(bed.env, f"multi_host_im_{'multi' if multi else 'single'}")
         return back
 
     def run_both():
@@ -120,10 +126,12 @@ def test_secondary_nic(benchmark, scale):
         out = {}
         for mode in ("shared", "secondary"):
             bed = build_testbed("specweb", scale=nic_scale, seed=5,
-                                service_nic=mode, link_bandwidth=80 * MB)
+                                service_nic=mode, link_bandwidth=80 * MB,
+                                observe=observing())
             bed.start_workload()
             bed.run_for(20.0)
             report = bed.migrate()
+            dump_trace(bed.env, f"secondary_nic_{mode}")
             base = mean_rate(bed.timeline, "specweb:throughput", 0, 20)
             during = mean_rate(bed.timeline, "specweb:throughput",
                                report.started_at, report.ended_at)

@@ -10,7 +10,7 @@ both modes against the same guest, then sweeps the push batch size.
 import numpy as np
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import format_table
 from repro.bitmap import FlatBitmap
 from repro.core import MigrationConfig, PostCopySynchronizer
@@ -27,6 +27,10 @@ DIRTY_BLOCKS = 2_000     # ~8 MiB left for post-copy
 def make_postcopy_scenario(config, guest_read_interval=0.002, seed=0):
     """Post-freeze state: domain on the destination, DIRTY_BLOCKS dirty."""
     env = Environment()
+    if observing():
+        from repro.obs import install
+
+        install(env)
     clock = GenerationClock()
     source = Host(env, "src", PhysicalDisk(env, 60 * MiB, 52 * MiB, 0.5e-3),
                   clock)
@@ -81,6 +85,7 @@ def run_mode(push: bool):
         return (yield from sync.run())
 
     stats = env.run(until=env.process(runner(env)))
+    dump_trace(env, f"postcopy_{'push_pull' if push else 'pull_only'}")
     return stats
 
 

@@ -22,7 +22,7 @@ failure-injection time.
 import numpy as np
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import format_table
 from repro.baselines import DeltaQueueMigration
 from repro.core import MigrationConfig, MigrationRetrier, Migrator
@@ -45,6 +45,10 @@ class FaultBed:
 
     def __init__(self, scale, seed=42):
         self.env = env = Environment()
+        if observing():
+            from repro.obs import install
+
+            install(env)
         self.clock = GenerationClock()
         self.nblocks = max(20_000, int(200_000 * scale))
         self.npages = 8_192
@@ -108,7 +112,11 @@ def run_tpm_with_fault(scale, fail_at, incremental):
                                initial_backoff=BACKOFF,
                                incremental=incremental)
     proc = retrier.migrate_process(bed.domain, bed.destination)
-    return bed.env.run(until=proc)
+    report = bed.env.run(until=proc)
+    dump_trace(bed.env,
+               f"fault_retry_{'bitmap' if incremental else 'scratch'}"
+               f"_at{fail_at:.2f}")
+    return report
 
 
 def run_delta(scale, fail_at=None):

@@ -8,7 +8,7 @@ overhead/disruption metrics quantitatively.
 
 import numpy as np
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import (
     ascii_timeseries,
     disruption_time,
@@ -21,7 +21,9 @@ from repro.analysis import (
 
 def test_fig5_series(benchmark, scale):
     report, bed = run_once(benchmark, run_figure_experiment, "specweb",
-                           scale=scale, migration_start=60.0, tail=120.0)
+                           scale=scale, migration_start=60.0, tail=120.0,
+                           observe=observing())
+    dump_trace(bed.env, "fig5_specweb")
     tl = bed.timeline
     window = 10.0
     centres, rates = tl.windowed_rate("specweb:throughput", window,

@@ -11,7 +11,7 @@ system performance".
 import numpy as np
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import (
     ascii_timeseries,
     format_table,
@@ -40,7 +40,9 @@ def test_fig6_series(benchmark, scale):
     """The four throughput curves around an unthrottled migration."""
     warmup = 120.0 if scale >= 0.5 else 60.0
     report, bed = run_once(benchmark, run_figure_experiment, "bonnie",
-                           scale=scale, migration_start=warmup, tail=120.0)
+                           scale=scale, migration_start=warmup, tail=120.0,
+                           observe=observing())
+    dump_trace(bed.env, "fig6_bonnie")
     overheads = _phase_overheads(bed, report, warmup)
     rows = [[s,
              overheads[s].baseline_rate / 1024,

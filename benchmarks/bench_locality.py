@@ -9,7 +9,7 @@ coalesces into one transfer.
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import PAPER_LOCALITY, format_table, run_locality_experiment
 
 #: (duration, warmup) per workload — bonnie needs to reach its rewrite
@@ -27,9 +27,11 @@ def test_locality_study(benchmark, scale):
     def run_all():
         out = {}
         for wl, (duration, warmup) in WINDOWS.items():
-            stats, _ = run_locality_experiment(wl, duration=duration,
-                                               scale=loc_scale,
-                                               warmup=warmup)
+            stats, bed = run_locality_experiment(wl, duration=duration,
+                                                 scale=loc_scale,
+                                                 warmup=warmup,
+                                                 observe=observing())
+            dump_trace(bed.env, f"locality_{wl}")
             out[wl] = stats
         return out
 

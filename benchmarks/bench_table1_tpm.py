@@ -19,7 +19,7 @@ retransferring ~1464 MB.
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import (
     PAPER_TABLE1,
     format_table,
@@ -36,7 +36,8 @@ WORKLOAD_LABELS = {
 @pytest.mark.parametrize("workload", ["specweb", "video", "bonnie"])
 def test_table1(benchmark, workload, scale):
     report, bed = run_once(benchmark, run_table1_experiment, workload,
-                           scale=scale, warmup=20.0)
+                           scale=scale, warmup=20.0, observe=observing())
+    dump_trace(bed.env, f"table1_{workload}")
     paper = PAPER_TABLE1[workload]
     rows = [
         ["Total migration time (s)", paper["total_s"],

@@ -19,7 +19,7 @@ see EXPERIMENTS.md for the full discussion.
 
 import pytest
 
-from conftest import emit, run_once
+from conftest import dump_trace, emit, observing, run_once
 from repro.analysis import (
     PAPER_TABLE2,
     format_table,
@@ -31,7 +31,8 @@ from repro.analysis import (
 def test_table2(benchmark, workload, scale):
     primary, back, bed = run_once(
         benchmark, run_table2_experiment, workload,
-        scale=scale, warmup=20.0, dwell=30.0)
+        scale=scale, warmup=20.0, dwell=30.0, observe=observing())
+    dump_trace(bed.env, f"table2_{workload}")
     paper = PAPER_TABLE2[workload]
     im_storage_mb = back.storage_bytes / 2**20
     rows = [

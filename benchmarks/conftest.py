@@ -9,9 +9,17 @@ quick pass.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_BENCH_TRACE`` to a directory to additionally record a
+Chrome-format trace of each benchmark's main run (loadable in
+``chrome://tracing``; see ``docs/OBSERVABILITY.md``)::
+
+    REPRO_BENCH_TRACE=traces REPRO_BENCH_SCALE=0.05 \
+        pytest benchmarks/bench_table1_tpm.py --benchmark-only -s
 """
 
 import os
+from typing import Optional
 
 import pytest
 
@@ -19,6 +27,32 @@ import pytest
 def bench_scale() -> float:
     """Experiment scale factor, from ``REPRO_BENCH_SCALE`` (default 1.0)."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def trace_dir() -> Optional[str]:
+    """Trace output directory from ``REPRO_BENCH_TRACE`` (unset = no traces)."""
+    return os.environ.get("REPRO_BENCH_TRACE") or None
+
+
+def observing() -> bool:
+    """True when benchmarks should run with the tracer installed."""
+    return trace_dir() is not None
+
+
+def dump_trace(env, name: str) -> Optional[str]:
+    """Write ``env``'s trace to ``$REPRO_BENCH_TRACE/<name>.trace.json``.
+
+    A no-op (returns None) when tracing is off or the environment has no
+    live tracer, so benchmarks can call it unconditionally.
+    """
+    directory = trace_dir()
+    if directory is None or not getattr(env.tracer, "enabled", False):
+        return None
+    from repro.obs import dump_chrome_trace
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.trace.json")
+    return dump_chrome_trace(path, env.tracer, env.metrics)
 
 
 @pytest.fixture(scope="session")

@@ -34,6 +34,9 @@ Subpackages
 ``repro.faults``
     Deterministic fault injection (link blackouts, degradation windows,
     host crashes) and bitmap-preserving failure recovery.
+``repro.obs``
+    Observability: hierarchical span tracer, metrics registry, and
+    JSON / Chrome-trace exporters (see ``docs/OBSERVABILITY.md``).
 ``repro.analysis``
     Metrics, write-locality, tables, canned experiments.
 """

@@ -73,6 +73,26 @@ class Testbed:
     def start_workload(self) -> None:
         self.workload.start(self.env)
 
+    @property
+    def tracer(self):
+        """The environment's tracer (a no-op unless built with observe)."""
+        return self.env.tracer
+
+    @property
+    def metrics(self):
+        """The environment's metrics registry (no-op unless observing)."""
+        return self.env.metrics
+
+    def dump_trace(self, path: str, fmt: str = "chrome") -> str:
+        """Write the collected trace to ``path`` (``chrome`` or ``json``)."""
+        from ..obs import dump_chrome_trace, dump_json
+
+        if fmt == "chrome":
+            return dump_chrome_trace(path, self.env.tracer, self.env.metrics)
+        if fmt == "json":
+            return dump_json(path, self.env.tracer, self.env.metrics)
+        raise ReproError(f"unknown trace format {fmt!r}")
+
     def run_for(self, seconds: float) -> None:
         """Advance the simulation by ``seconds``."""
         self.env.run(until=self.env.now + seconds)
@@ -161,6 +181,7 @@ def build_testbed(
     seek_time: float = 0.5e-3,
     prefill: "bool | float" = True,
     service_nic: Optional[str] = None,
+    observe: bool = False,
 ) -> Testbed:
     """Assemble the two-machine testbed of §VI-A at the given scale.
 
@@ -173,10 +194,19 @@ def build_testbed(
     default used by the main calibration); ``"shared"`` — responses ride
     the same link the migration uses; ``"secondary"`` — responses get
     their own dedicated NIC at ``link_bandwidth``.
+
+    ``observe=True`` installs a live :class:`~repro.obs.Tracer` and
+    :class:`~repro.obs.MetricsRegistry` on the environment (see
+    ``docs/OBSERVABILITY.md``); recording never advances the simulated
+    clock, so results are numerically identical either way.
     """
     if not 0 < scale <= 1:
         raise ReproError(f"scale must be in (0, 1], got {scale}")
     env = Environment()
+    if observe:
+        from ..obs import install
+
+        install(env)
     timeline = Timeline(env)
     clock = GenerationClock()
     source = Host(env, "source",
@@ -231,9 +261,11 @@ def build_testbed(
 
 def run_table1_experiment(workload: str, scale: float = 1.0, seed: int = 0,
                           config: Optional[MigrationConfig] = None,
-                          warmup: float = 20.0) -> tuple[MigrationReport, Testbed]:
+                          warmup: float = 20.0,
+                          observe: bool = False) -> tuple[MigrationReport, Testbed]:
     """Table I: one primary TPM migration under the given workload."""
-    bed = build_testbed(workload, scale=scale, seed=seed, config=config)
+    bed = build_testbed(workload, scale=scale, seed=seed, config=config,
+                        observe=observe)
     bed.start_workload()
     bed.run_for(warmup)
     report = bed.migrate()
@@ -243,9 +275,11 @@ def run_table1_experiment(workload: str, scale: float = 1.0, seed: int = 0,
 def run_table2_experiment(workload: str, scale: float = 1.0, seed: int = 0,
                           config: Optional[MigrationConfig] = None,
                           warmup: float = 20.0, dwell: float = 30.0,
+                          observe: bool = False,
                           ) -> tuple[MigrationReport, MigrationReport, Testbed]:
     """Table II: primary TPM, dwell on the destination, IM back."""
-    bed = build_testbed(workload, scale=scale, seed=seed, config=config)
+    bed = build_testbed(workload, scale=scale, seed=seed, config=config,
+                        observe=observe)
     bed.start_workload()
     bed.run_for(warmup)
     primary = bed.migrate()
@@ -260,9 +294,11 @@ def run_figure_experiment(workload: str, scale: float = 1.0, seed: int = 0,
                           config: Optional[MigrationConfig] = None,
                           migration_start: float = 60.0,
                           tail: float = 120.0,
+                          observe: bool = False,
                           ) -> tuple[MigrationReport, Testbed]:
     """Figures 5/6: throughput time series around one migration."""
-    bed = build_testbed(workload, scale=scale, seed=seed, config=config)
+    bed = build_testbed(workload, scale=scale, seed=seed, config=config,
+                        observe=observe)
     bed.start_workload()
     bed.run_for(migration_start)
     report = bed.migrate()
@@ -274,7 +310,7 @@ def run_figure_experiment(workload: str, scale: float = 1.0, seed: int = 0,
 
 def run_locality_experiment(workload: str, duration: float = 120.0,
                             scale: float = 0.05, seed: int = 0,
-                            warmup: float = 30.0):
+                            warmup: float = 30.0, observe: bool = False):
     """§IV-A-2: measure a workload's rewrite locality (no migration).
 
     For steady-flow workloads the counters are reset after ``warmup``
@@ -286,7 +322,7 @@ def run_locality_experiment(workload: str, duration: float = 120.0,
     """
     from .locality import attach_tracker
 
-    bed = build_testbed(workload, scale=scale, seed=seed)
+    bed = build_testbed(workload, scale=scale, seed=seed, observe=observe)
     tracker = attach_tracker(bed.source.driver_of(bed.domain.domain_id))
     bed.start_workload()
 
@@ -327,6 +363,7 @@ def run_baseline_experiment(scheme: str, workload: str = "specweb",
                             scale: float = 0.01, seed: int = 0,
                             config: Optional[MigrationConfig] = None,
                             warmup: float = 10.0, tail: float = 20.0,
+                            observe: bool = False,
                             **scheme_kwargs):
     """Run one migration scheme (TPM or a baseline) on the shared testbed.
 
@@ -343,7 +380,8 @@ def run_baseline_experiment(scheme: str, workload: str = "specweb",
     from ..net.channel import Channel
     from ..net.ratelimit import NullLimiter, TokenBucket
 
-    bed = build_testbed(workload, scale=scale, seed=seed, config=config)
+    bed = build_testbed(workload, scale=scale, seed=seed, config=config,
+                        observe=observe)
     bed.start_workload()
     bed.run_for(warmup)
 

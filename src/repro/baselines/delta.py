@@ -88,7 +88,11 @@ class DeltaQueueMigration:
         domain = self.domain
         cfg = self.config
         report = self.report
+        tracer = env.tracer
         report.started_at = env.now
+        mig_span = tracer.begin(f"migration:{domain.name}",
+                                category="migration", scheme=report.scheme,
+                                workload=report.workload)
 
         if domain.host is not self.source:
             raise MigrationError(f"{domain} is not on the source host")
@@ -110,6 +114,8 @@ class DeltaQueueMigration:
                                 name="delta:collect")
 
         # Single-pass bulk disk copy.
+        disk_span = tracer.begin("phase:precopy-disk", category="phase",
+                                 blocks=int(src_vbd.nblocks))
         report.precopy_disk_started_at = env.now
         streamer = BlockStreamer(env, self.source.disk, src_vbd,
                                  self.destination.disk, dest_vbd,
@@ -117,19 +123,24 @@ class DeltaQueueMigration:
         yield from streamer.stream(
             np.arange(src_vbd.nblocks, dtype=np.int64), category="disk")
         report.precopy_disk_ended_at = env.now
+        tracer.end(disk_span)
 
         # Memory pre-copy (disk writes keep being forwarded meanwhile).
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         pages = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
+        mem_span = tracer.begin("phase:precopy-mem", category="phase")
         report.precopy_mem_started_at = env.now
         report.mem_rounds = yield from MemoryPreCopier(
             env, domain.memory, pages, cfg).run()
         report.precopy_mem_ended_at = env.now
+        tracer.end(mem_span, rounds=len(report.mem_rounds))
 
         # Freeze-and-copy.
         domain.suspend()
+        freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
+        tracer.instant("suspend", category="freeze")
         if cfg.suspend_overhead > 0:
             yield env.timeout(cfg.suspend_overhead)
         yield from src_driver.quiesce()
@@ -169,8 +180,14 @@ class DeltaQueueMigration:
             yield env.timeout(cfg.resume_overhead)
         domain.resume()
         report.resumed_at = env.now
+        tracer.instant("resume", category="freeze",
+                       downtime=report.resumed_at - report.suspended_at)
+        tracer.end(freeze_span,
+                   final_dirty_pages=report.final_dirty_pages)
 
         # Replay the queue in arrival order.
+        replay_span = tracer.begin("phase:delta-replay", category="phase",
+                                   queued=len(self._queue))
         replay_started = env.now
         while self._queue:
             block, nblocks, stamps, data = self._queue.popleft()
@@ -188,7 +205,12 @@ class DeltaQueueMigration:
         report.extra["throttle_time"] = self.throttle_time
         replay_done.succeed()
         dst_driver.interceptor = None
+        tracer.end(replay_span, delta_count=self.delta_count,
+                   redundant_blocks=self.redundant_blocks)
         report.ended_at = env.now
+        tracer.end(mig_span,
+                   total_migration_time=report.total_migration_time,
+                   downtime=report.downtime)
 
         ledger = dict(self.fwd.bytes_by_category)
         for chan in (self.rev, self.delta_channel):

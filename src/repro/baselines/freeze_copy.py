@@ -58,7 +58,11 @@ class FreezeAndCopyMigration:
         domain = self.domain
         cfg = self.config
         report = self.report
+        tracer = env.tracer
         report.started_at = env.now
+        mig_span = tracer.begin(f"migration:{domain.name}",
+                                category="migration", scheme=report.scheme,
+                                workload=report.workload)
 
         if domain.host is not self.source:
             raise MigrationError(f"{domain} is not on the source host")
@@ -69,11 +73,15 @@ class FreezeAndCopyMigration:
 
         # Freeze first: everything below happens with the VM down.
         domain.suspend()
+        freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
+        tracer.instant("suspend", category="freeze")
         if cfg.suspend_overhead > 0:
             yield env.timeout(cfg.suspend_overhead)
         yield from self.source.driver_of(domain.domain_id).quiesce()
 
+        disk_span = tracer.begin("phase:copy-disk", category="phase",
+                                 blocks=int(src_vbd.nblocks))
         report.precopy_disk_started_at = env.now
         streamer = BlockStreamer(env, self.source.disk, src_vbd,
                                  self.destination.disk, dest_vbd,
@@ -82,6 +90,7 @@ class FreezeAndCopyMigration:
             np.arange(src_vbd.nblocks, dtype=np.int64),
             category="disk", limited=False)
         report.precopy_disk_ended_at = env.now
+        tracer.end(disk_span)
 
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
@@ -102,7 +111,13 @@ class FreezeAndCopyMigration:
             yield env.timeout(cfg.resume_overhead)
         domain.resume()
         report.resumed_at = env.now
+        tracer.instant("resume", category="freeze",
+                       downtime=report.resumed_at - report.suspended_at)
+        tracer.end(freeze_span)
         report.ended_at = env.now
+        tracer.end(mig_span,
+                   total_migration_time=report.total_migration_time,
+                   downtime=report.downtime)
 
         report.bytes_by_category = dict(self.fwd.bytes_by_category)
         if cfg.verify_consistency:

@@ -110,7 +110,11 @@ class OnDemandMigration:
         domain = self.domain
         cfg = self.config
         report = self.report
+        tracer = env.tracer
         report.started_at = env.now
+        mig_span = tracer.begin(f"migration:{domain.name}",
+                                category="migration", scheme=report.scheme,
+                                workload=report.workload)
 
         if domain.host is not self.source:
             raise MigrationError(f"{domain} is not on the source host")
@@ -124,13 +128,17 @@ class OnDemandMigration:
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         streamer = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
+        mem_span = tracer.begin("phase:precopy-mem", category="phase")
         report.precopy_mem_started_at = env.now
         report.mem_rounds = yield from MemoryPreCopier(
             env, domain.memory, streamer, cfg).run()
         report.precopy_mem_ended_at = env.now
+        tracer.end(mem_span, rounds=len(report.mem_rounds))
 
         domain.suspend()
+        freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
+        tracer.instant("suspend", category="freeze")
         if cfg.suspend_overhead > 0:
             yield env.timeout(cfg.suspend_overhead)
         yield from self.source.driver_of(domain.domain_id).quiesce()
@@ -161,7 +169,15 @@ class OnDemandMigration:
             yield env.timeout(cfg.resume_overhead)
         domain.resume()
         report.resumed_at = env.now
+        tracer.instant("resume", category="freeze",
+                       downtime=report.resumed_at - report.suspended_at)
+        tracer.end(freeze_span,
+                   final_dirty_pages=report.final_dirty_pages)
         report.ended_at = env.now  # the *live* migration is over...
+        tracer.end(mig_span,
+                   total_migration_time=report.total_migration_time,
+                   downtime=report.downtime,
+                   residual_blocks=self.residual_blocks)
         report.extra["residual_blocks_at_resume"] = self.residual_blocks
         report.bytes_by_category = dict(self.fwd.bytes_by_category)
         for key, val in self.rev.bytes_by_category.items():
@@ -183,6 +199,7 @@ class OnDemandMigration:
         if not absent:
             return False
         self.stalled_reads += 1
+        self.env.metrics.counter("ondemand.stalled_reads").inc()
         stall_start = self.env.now
         waiters = [self._wait_for(b) for b in absent]
         for block in absent:
@@ -239,6 +256,8 @@ class OnDemandMigration:
                     priority=self.config.migration_disk_priority)
                 self._dest_vbd.import_blocks(msg.indices, msg.stamps, msg.data)
                 self.fetched_blocks += msg.nblocks
+                self.env.metrics.counter("ondemand.fetched_blocks").inc(
+                    msg.nblocks)
                 for block in msg.indices.tolist():
                     self.present.set(int(block))
                     for event in self._pending.pop(block, []):

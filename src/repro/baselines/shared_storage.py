@@ -55,7 +55,11 @@ class SharedStorageMigration:
         domain = self.domain
         cfg = self.config
         report = self.report
+        tracer = env.tracer
         report.started_at = env.now
+        mig_span = tracer.begin(f"migration:{domain.name}",
+                                category="migration", scheme=report.scheme,
+                                workload=report.workload)
 
         if domain.host is not self.source:
             raise MigrationError(f"{domain} is not on the source host")
@@ -67,14 +71,18 @@ class SharedStorageMigration:
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         streamer = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
+        mem_span = tracer.begin("phase:precopy-mem", category="phase")
         report.precopy_mem_started_at = env.now
         report.mem_rounds = yield from MemoryPreCopier(
             env, domain.memory, streamer, cfg).run()
         report.precopy_mem_ended_at = env.now
+        tracer.end(mem_span, rounds=len(report.mem_rounds))
 
         # Freeze: final dirty pages + CPU state.
         domain.suspend()
+        freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
+        tracer.instant("suspend", category="freeze")
         if cfg.suspend_overhead > 0:
             yield env.timeout(cfg.suspend_overhead)
         yield from self.source.driver_of(domain.domain_id).quiesce()
@@ -95,7 +103,14 @@ class SharedStorageMigration:
             yield env.timeout(cfg.resume_overhead)
         domain.resume()
         report.resumed_at = env.now
+        tracer.instant("resume", category="freeze",
+                       downtime=report.resumed_at - report.suspended_at)
+        tracer.end(freeze_span,
+                   final_dirty_pages=report.final_dirty_pages)
         report.ended_at = env.now
+        tracer.end(mig_span,
+                   total_migration_time=report.total_migration_time,
+                   downtime=report.downtime)
 
         report.bytes_by_category = dict(self.fwd.bytes_by_category)
         report.consistency_verified = True  # trivially: the disk is shared

@@ -8,9 +8,14 @@ Examples::
     repro-sim migrate --workload specweb --scale 0.02
     repro-sim migrate --workload bonnie --rate-limit 30e6 --roundtrip
     repro-sim migrate --scheme freeze-and-copy --workload idle
+    repro-sim migrate --workload video --trace video.trace.json
     repro-sim table1 --workload video --scale 0.1
     repro-sim table2 --workload specweb --scale 0.05 --dwell 60
     repro-sim locality --workload kernelbuild
+    repro-sim trace --workload specweb --out specweb.trace.json
+
+Any trace written with ``--trace``/``trace`` in the default ``chrome``
+format loads directly into ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -64,6 +69,23 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
                         help="disk pre-copy iteration cap (default: 4)")
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a trace of the run to PATH "
+                             "(enables the tracer)")
+    parser.add_argument("--trace-format", choices=("chrome", "json"),
+                        default="chrome",
+                        help="trace file format: 'chrome' loads into "
+                             "chrome://tracing (default), 'json' is the "
+                             "raw span/metric dump")
+
+
+def _maybe_dump_trace(args: argparse.Namespace, bed) -> None:
+    if getattr(args, "trace", None):
+        path = bed.dump_trace(args.trace, fmt=args.trace_format)
+        print(f"trace written to {path} ({args.trace_format} format)")
+
+
 def _config_from(args: argparse.Namespace) -> MigrationConfig:
     return MigrationConfig(
         rate_limit=args.rate_limit,
@@ -94,25 +116,69 @@ def _print_report(report, label: str = "") -> None:
 
 def cmd_migrate(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    observe = args.trace is not None
     if args.scheme == "tpm":
         report, bed = run_table1_experiment(
             args.workload, scale=args.scale, seed=args.seed,
-            config=config, warmup=args.warmup)
+            config=config, warmup=args.warmup, observe=observe)
         _print_report(report, "primary TPM migration")
         if args.roundtrip:
             bed.run_for(args.dwell)
             back = bed.migrate()
             _print_report(back, "incremental migration back")
+        _maybe_dump_trace(args, bed)
         return 0
     report, bed, migration = run_baseline_experiment(
         args.scheme, args.workload, scale=args.scale, seed=args.seed,
-        config=config, warmup=args.warmup, tail=args.dwell)
+        config=config, warmup=args.warmup, tail=args.dwell, observe=observe)
     _print_report(report, f"{args.scheme} migration")
     if args.scheme == "on-demand" and migration is not None:
         print(f"  residual dependency: {migration.residual_blocks} blocks "
               f"still only on the source "
               f"({'alive' if migration.dependency_alive else 'done'})")
         migration.stop()
+    _maybe_dump_trace(args, bed)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced migration and print the span tree + key metrics."""
+    from .obs.export import phase_durations
+
+    config = _config_from(args)
+    observe_scheme = args.scheme
+    if observe_scheme == "tpm":
+        report, bed = run_table1_experiment(
+            args.workload, scale=args.scale, seed=args.seed,
+            config=config, warmup=args.warmup, observe=True)
+    else:
+        report, bed, migration = run_baseline_experiment(
+            observe_scheme, args.workload, scale=args.scale, seed=args.seed,
+            config=config, warmup=args.warmup, observe=True)
+        if observe_scheme == "on-demand" and migration is not None:
+            migration.stop()
+    _print_report(report, f"{observe_scheme} migration")
+
+    tracer = bed.tracer
+    nchunks = sum(1 for s in tracer.spans if s.category == "transfer")
+    print(f"span tree ({len(tracer.spans)} spans, "
+          f"{nchunks} chunk transfers collapsed):")
+    for depth, span in tracer.walk():
+        if span.category == "transfer":
+            continue
+        print(f"  {'  ' * depth}{span.name:<28s} {fmt_time(span.duration)}")
+    phases = phase_durations(tracer)
+    if phases:
+        print("phase durations:",
+              ", ".join(f"{k}={fmt_time(v)}" for k, v in phases.items()))
+    counters = [name for name in bed.metrics.names()
+                if name.startswith(("chan.", "link."))]
+    if counters:
+        print("wire counters:")
+        for name in sorted(counters):
+            print(f"  {name:<28s} {fmt_bytes(bed.metrics.get(name).total)}")
+    path = bed.dump_trace(args.out, fmt=args.trace_format)
+    print(f"trace written to {path} ({args.trace_format} format)")
     return 0
 
 
@@ -188,7 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_migrate.add_argument("--dwell", type=float, default=30.0,
                            help="seconds on the destination before the "
                                 "return trip (default: 30)")
+    _add_trace(p_migrate)
     p_migrate.set_defaults(func=cmd_migrate)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced migration and dump the trace file")
+    _add_common(p_trace)
+    _add_config(p_trace)
+    p_trace.add_argument("--scheme", choices=BASELINE_SCHEMES,
+                         default="tpm", help="migration scheme")
+    p_trace.add_argument("--out", metavar="PATH",
+                         default="migration.trace.json",
+                         help="trace output path "
+                              "(default: migration.trace.json)")
+    p_trace.add_argument("--trace-format", choices=("chrome", "json"),
+                         default="chrome",
+                         help="'chrome' loads into chrome://tracing "
+                              "(default); 'json' is the raw dump")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_t1 = sub.add_parser("table1", help="reproduce a Table I row")
     _add_common(p_t1)

@@ -326,6 +326,7 @@ class MigrationRetrier:
         backoff_total = 0.0
         delay = self.initial_backoff
         for attempt in range(1, self.max_attempts + 1):
+            self.env.metrics.counter("retry.attempts").inc()
             try:
                 report = yield from self.migrator.migrate(
                     domain, destination, config, workload_name)
@@ -333,13 +334,20 @@ class MigrationRetrier:
                 if failure.report is not None:
                     failures.append(failure.report)
                 if attempt == self.max_attempts:
+                    self.env.tracer.instant("retry:gave-up",
+                                            category="retry",
+                                            attempts=attempt)
                     raise MigrationFailed(
                         f"migration of {domain} failed {attempt} times; "
                         f"giving up", report=failure.report) from failure
                 if not self.incremental:
                     self.migrator.discard_partial(domain)
-                if delay > 0:
-                    yield self.env.timeout(delay)
+                with self.env.tracer.span("retry:backoff", category="retry",
+                                          attempt=attempt, delay=delay,
+                                          incremental=self.incremental):
+                    self.env.metrics.gauge("retry.backoff_delay").set(delay)
+                    if delay > 0:
+                        yield self.env.timeout(delay)
                 backoff_total += delay
                 delay *= self.backoff_factor
                 continue

@@ -54,6 +54,9 @@ class MemoryPreCopier:
         round_no = 1
         while True:
             started = self.env.now
+            rd_span = self.env.tracer.begin(f"round:{round_no}",
+                                            category="iteration",
+                                            pages=int(indices.size))
             stats = yield from self.streamer.stream(indices, category="memory",
                                                     limited=True)
             ended = self.env.now
@@ -67,6 +70,10 @@ class MemoryPreCopier:
                 dirty_at_end=dirty_now,
             )
             rounds.append(record)
+            self.env.tracer.end(rd_span, units_sent=stats.units_sent,
+                                bytes_sent=stats.bytes_sent,
+                                dirty_at_end=dirty_now)
+            self.env.metrics.gauge("memcopy.dirty_pages").set(dirty_now)
 
             if not self._should_continue(record, round_no):
                 break

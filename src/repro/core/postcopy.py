@@ -20,6 +20,13 @@ read (it can be served from local disk, which now holds newer data).  The
 paper's pseudocode would leave it pending forever, because the later
 pushed copy is dropped without scanning the pending list — a liveness gap
 for overlapping read/write to the same block.
+
+Observability (see docs/OBSERVABILITY.md): with a real tracer installed
+this module emits ``pull:request`` instants and maintains the
+``postcopy.*`` counters (pushed/pulled/dropped/cancelled blocks, stalled
+reads, pull requests), the ``postcopy.dirty_blocks`` gauge, and the
+``postcopy.stall_seconds`` histogram of guest read stalls — the raw
+material for the push-vs-pull ablation's timelines.
 """
 
 from __future__ import annotations
@@ -82,6 +89,10 @@ class PostCopySynchronizer:
         self.config = config
         self.stats = PostCopyStats()
 
+        #: Still-dirty blocks on the destination, maintained incrementally
+        #: for the ``postcopy.dirty_blocks`` gauge (counting the bitmap per
+        #: message would re-scan it).
+        self._remaining = transferred_bitmap.count()
         #: Pending list P: waiters per block number.
         self._pending: dict[int, list["Event"]] = {}
         #: Blocks for which a pull request is already outstanding.
@@ -109,6 +120,7 @@ class PostCopySynchronizer:
         env = self.env
         self.stats.started_at = env.now
         self.dst_driver.interceptor = self.intercept
+        env.metrics.gauge("postcopy.dirty_blocks").set(self._remaining)
         self._note_if_synchronized()  # the dirty set may already be empty
         procs = [
             env.process(self._receiver(), name="postcopy:recv"),
@@ -145,10 +157,17 @@ class PostCopySynchronizer:
         bitmap = self.transferred_bitmap
         if request.is_write():
             # Lines 5-10: a whole-block write supersedes the stale copy.
+            cancelled = 0
             for block in request.blocks():
                 if bitmap.test(block):
                     bitmap.clear(block)
+                    cancelled += 1
                     self._wake(block)  # documented deviation
+            if cancelled:
+                self._remaining -= cancelled
+                metrics = self.env.metrics
+                metrics.counter("postcopy.cancelled_blocks").inc(cancelled)
+                metrics.gauge("postcopy.dirty_blocks").set(self._remaining)
             self._note_if_synchronized()
             return False
 
@@ -158,16 +177,22 @@ class PostCopySynchronizer:
             return False
 
         self.stats.stalled_reads += 1
+        self.env.metrics.counter("postcopy.stalled_reads").inc()
         stall_start = self.env.now
         waiters = [self._wait_for(b) for b in dirty]
         for block in dirty:
             if block not in self._requested:
                 self._requested.add(block)
+                self.env.metrics.counter("postcopy.pull_requests").inc()
+                self.env.tracer.instant("pull:request", category="postcopy",
+                                        block=int(block))
                 yield from self.rev.send(
                     PullRequestMsg(block, request.request_id),
                     category="pull", limited=False)
         yield self.env.all_of(waiters)
-        self.stats.stall_time += self.env.now - stall_start
+        stall = self.env.now - stall_start
+        self.stats.stall_time += stall
+        self.env.metrics.histogram("postcopy.stall_seconds").observe(stall)
         # Lines 14-15: dequeue and submit to the physical driver.
         yield from self.dst_driver.serve_direct(request)
         return True
@@ -212,6 +237,9 @@ class PostCopySynchronizer:
                                dtype=bool, count=indices.size)
             dropped = int((~keep).sum())
             self.stats.dropped_blocks += dropped
+            if dropped:
+                self.env.metrics.counter("postcopy.dropped_blocks").inc(
+                    dropped)
             live = indices[keep]
             if live.size:
                 # Lines 4-5: update local disk, clear the bitmap.
@@ -222,10 +250,17 @@ class PostCopySynchronizer:
                 data = msg.data[keep] if msg.data is not None else None
                 self.dst_vbd.import_blocks(live, stamps, data)
                 bitmap.clear_many(live)
+                metrics = self.env.metrics
+                self._remaining -= int(live.size)
+                metrics.gauge("postcopy.dirty_blocks").set(self._remaining)
                 if msg.pulled:
                     self.stats.pulled_blocks += int(live.size)
+                    metrics.counter("postcopy.pulled_blocks").inc(
+                        int(live.size))
                 else:
                     self.stats.pushed_blocks += int(live.size)
+                    metrics.counter("postcopy.pushed_blocks").inc(
+                        int(live.size))
                 # Lines 6-11: release pending requests waiting on them.
                 for block in live.tolist():
                     self._wake(block)

@@ -97,6 +97,9 @@ class DiskPreCopier:
         iteration = 1
         while True:
             started = self.env.now
+            it_span = self.env.tracer.begin(f"iteration:{iteration}",
+                                            category="iteration",
+                                            blocks=int(indices.size))
             stats = yield from self.streamer.stream(indices, category="disk",
                                                     limited=True)
             ended = self.env.now
@@ -110,6 +113,10 @@ class DiskPreCopier:
                 dirty_at_end=dirty_now,
             )
             iterations.append(record)
+            self.env.tracer.end(it_span, units_sent=stats.units_sent,
+                                bytes_sent=stats.bytes_sent,
+                                dirty_at_end=dirty_now)
+            self.env.metrics.gauge("precopy.dirty_blocks").set(dirty_now)
 
             if self.abort_requested is not None and self.abort_requested():
                 break

@@ -133,9 +133,15 @@ class ThreePhaseMigration:
         domain = self.domain
         cfg = self.config
         report = self.report
+        tracer = env.tracer
         report.started_at = env.now
+        mig_span = tracer.begin(
+            f"migration:{domain.name}", category="migration",
+            scheme=report.scheme, workload=self.workload_name,
+            incremental=report.incremental, resume=self.resume)
 
         if domain.host is not self.source:
+            tracer.end(mig_span, error="domain not on source")
             raise MigrationError(
                 f"{domain} is on {domain.host and domain.host.name}, "
                 f"not on source {self.source.name}")
@@ -145,6 +151,7 @@ class ThreePhaseMigration:
         src_driver = self.source.driver_of(domain.domain_id)
         dest_vbd: Optional[VirtualBlockDevice] = None
         self._notify_phase("init")
+        init_span = tracer.begin("phase:init", category="phase")
 
         # A network failure anywhere before the commit point tears the
         # migration down with the guest untouched on the source; the
@@ -169,6 +176,8 @@ class ThreePhaseMigration:
 
             # -- phase 1a: iterative disk pre-copy ------------------------
             self._notify_phase("precopy-disk")
+            tracer.end(init_span)
+            disk_span = tracer.begin("phase:precopy-disk", category="phase")
             report.precopy_disk_started_at = env.now
             block_streamer = BlockStreamer(
                 env, self.source.disk, src_vbd, self.destination.disk,
@@ -193,6 +202,9 @@ class ThreePhaseMigration:
                 resume=self.resume)
             report.disk_iterations = yield from precopier.run()
             report.precopy_disk_ended_at = env.now
+            tracer.end(disk_span,
+                       iterations=len(report.disk_iterations),
+                       retransferred_blocks=report.retransferred_blocks)
             if self._abort_requested:
                 return (yield from self._abort(src_driver,
                                                memory_logging=False))
@@ -200,6 +212,7 @@ class ThreePhaseMigration:
             # -- phase 1b: iterative memory pre-copy ----------------------
             self._notify_phase("precopy-mem")
             shadow_memory: Optional[GuestMemory] = None
+            mem_span = tracer.begin("phase:precopy-mem", category="phase")
             report.precopy_mem_started_at = env.now
             if cfg.include_memory:
                 shadow_memory = GuestMemory(domain.memory.npages,
@@ -211,6 +224,7 @@ class ThreePhaseMigration:
                                             cfg)
                 report.mem_rounds = yield from memcopier.run()
             report.precopy_mem_ended_at = env.now
+            tracer.end(mem_span, rounds=len(report.mem_rounds))
             if self._abort_requested:
                 return (yield from self._abort(
                     src_driver, memory_logging=cfg.include_memory))
@@ -220,8 +234,10 @@ class ThreePhaseMigration:
         # -- phase 2: freeze-and-copy -------------------------------------
         self._committed = True
         self._notify_phase("freeze")
+        freeze_span = tracer.begin("phase:freeze", category="phase")
         domain.suspend()
         report.suspended_at = env.now
+        tracer.instant("suspend", category="freeze")
         # Drain guest I/O already queued at the disk so its writes are
         # applied (and bitmap-tracked) before the final harvest.
         yield from src_driver.quiesce()
@@ -254,6 +270,11 @@ class ThreePhaseMigration:
         final_bitmap = src_driver.stop_tracking(TRACKING_NAME)
         report.remaining_dirty_blocks = final_bitmap.count()
         report.bitmap_nbytes = final_bitmap.serialized_nbytes()
+        env.metrics.gauge("tpm.remaining_dirty_blocks").set(
+            report.remaining_dirty_blocks)
+        tracer.instant("bitmap:shipped", category="freeze",
+                       dirty_blocks=report.remaining_dirty_blocks,
+                       bitmap_nbytes=report.bitmap_nbytes)
         yield from self.fwd.send(
             BitmapMsg(final_bitmap.nbits, final_bitmap.dirty_indices(),
                       final_bitmap.serialized_nbytes()),
@@ -297,15 +318,30 @@ class ThreePhaseMigration:
             yield env.timeout(cfg.resume_overhead)
         domain.resume()
         report.resumed_at = env.now
+        tracer.instant("resume", category="freeze",
+                       downtime=report.resumed_at - report.suspended_at)
+        tracer.end(freeze_span,
+                   final_dirty_pages=report.final_dirty_pages,
+                   remaining_dirty_blocks=report.remaining_dirty_blocks,
+                   bitmap_nbytes=report.bitmap_nbytes)
 
         # -- phase 3: post-copy push-and-pull -----------------------------
         self._notify_phase("postcopy")
+        postcopy_span = tracer.begin("phase:postcopy", category="phase")
         report.postcopy = yield from synchronizer.run()
         report.ended_at = report.postcopy.ended_at
+        # The phase logically ends at synchronization, which can precede
+        # the current clock (worker processes wind down afterwards).
+        tracer.end(postcopy_span, at=report.postcopy.ended_at,
+                   pushed=report.postcopy.pushed_blocks,
+                   pulled=report.postcopy.pulled_blocks,
+                   dropped=report.postcopy.dropped_blocks,
+                   stalled_reads=report.postcopy.stalled_reads)
 
         # -- wire accounting & verification --------------------------------
         report.bytes_by_category = self._ledger_delta(ledger_before)
         if cfg.verify_consistency:
+            verify_span = tracer.begin("phase:verify", category="phase")
             # A guest write may have cancelled a transfer (clearing BM_2,
             # so the pushed copy was dropped) while its own disk apply is
             # still in flight.  Such a block looks inconsistent until the
@@ -322,6 +358,7 @@ class ThreePhaseMigration:
                 if env.now >= deadline:
                     preview = unexplained[:10].tolist()
                     suffix = ", ..." if unexplained.size > 10 else ""
+                    tracer.close_open(error="inconsistent after migration")
                     raise MigrationError(
                         f"{unexplained.size} blocks inconsistent after "
                         f"migration (waited "
@@ -329,6 +366,11 @@ class ThreePhaseMigration:
                         f"blocks: {preview}{suffix}")
                 yield env.timeout(cfg.verify_retry_interval)
             report.consistency_verified = True
+            tracer.end(verify_span, verified=True)
+        tracer.end(mig_span,
+                   total_migration_time=report.total_migration_time,
+                   downtime=report.downtime,
+                   migrated_bytes=report.migrated_bytes)
         return report
 
     # ------------------------------------------------------------------
@@ -350,6 +392,9 @@ class ThreePhaseMigration:
         report.extra["aborted"] = True
         report.ended_at = self.env.now
         report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        self.env.tracer.instant("migration:aborted", category="migration",
+                                phase=self._phase)
+        self.env.tracer.close_open(aborted=True)
         return report
 
     def _fail(self, exc: NetworkError, src_driver,
@@ -381,6 +426,10 @@ class ThreePhaseMigration:
         report.extra["surviving_dirty_blocks"] = int(surviving)
         report.ended_at = self.env.now
         report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        self.env.tracer.instant("migration:failed", category="migration",
+                                phase=self._phase, failure=str(exc),
+                                surviving_dirty_blocks=int(surviving))
+        self.env.tracer.close_open(failed=True)
         return MigrationFailed(
             f"migration of {self.domain} failed during {self._phase}: {exc}",
             report=report, dest_vbd=keep_vbd)

@@ -108,8 +108,11 @@ class BlockStreamer:
             sent_bytes = 0
             for _ in range(len(chunks)):
                 msg = yield ready.get()
+                span = env.tracer.begin("chunk", category="transfer",
+                                        blocks=msg.nblocks)
                 yield from self.channel.send(msg, category=category,
                                              limited=limited)
+                env.tracer.end(span, bytes=msg.wire_nbytes)
                 sent_bytes += msg.wire_nbytes
             return sent_bytes
 
@@ -174,8 +177,11 @@ class PageStreamer:
             for chunk in chunks:
                 stamps = self.src_mem.export_pages(chunk)
                 msg = MemoryPagesMsg(chunk, stamps, self.src_mem.page_size)
+                span = env.tracer.begin("chunk", category="transfer",
+                                        pages=msg.npages)
                 yield from self.channel.send(msg, category=category,
                                              limited=limited)
+                env.tracer.end(span, bytes=msg.wire_nbytes)
                 sent_bytes += msg.wire_nbytes
             return sent_bytes
 

@@ -14,6 +14,17 @@ timeout budget spans consecutive outages, not each one separately.
 A host crash marks ``host.crashed`` and puts every attached link into a
 permanent blackout, so both the victim's peers and any in-flight
 migration observe it as an unrecoverable network failure.
+
+This is the failure model behind the paper's §V motivation for
+Incremental Migration ("if the migration fails, the user can resume the
+virtual machine on the source machine and retry later"): the injector
+kills an attempt deterministically, and the retrier's bitmap-based retry
+demonstrates the cheap-recovery claim.
+
+Observability (see docs/OBSERVABILITY.md): with a real tracer installed
+the injector emits ``fault:*`` instants (blackout start/end, degradation
+windows, crashes, send timeouts) and counts ``faults.send_timeouts``, so
+a fault-recovery trace shows exactly where each attempt died.
 """
 
 from __future__ import annotations
@@ -99,6 +110,10 @@ class LinkFaultState:
                 if grace > 0:
                     yield self.env.timeout(grace)
                 self.timed_out_sends += 1
+                self.env.metrics.counter("faults.send_timeouts").inc()
+                self.env.tracer.instant("fault:send-timeout",
+                                        category="fault", link=link.name,
+                                        waited=self.send_timeout)
                 raise NetworkError(
                     f"link {link.name!r}: send timed out after "
                     f"{self.send_timeout:.3f}s of blackout")
@@ -192,6 +207,20 @@ class FaultInjector:
             if spec.at is not None:
                 self.env.process(self._crash_later(spec, spec.at, ("c", i)),
                                  name=f"fault:crash:{spec.host}")
+        for spec in self.plan.blackouts:
+            if spec.at is not None:
+                self.env.tracer.instant(
+                    "fault:blackout", category="fault",
+                    direction=spec.direction, start=spec.at,
+                    duration=spec.duration)
+        for spec in self.plan.degradations:
+            if spec.at is not None:
+                self.env.tracer.instant(
+                    "fault:degrade", category="fault",
+                    direction=spec.direction, start=spec.at,
+                    duration=spec.duration,
+                    bandwidth_factor=spec.bandwidth_factor,
+                    extra_latency=spec.extra_latency)
         migrator.fault_injector = self
         return self
 
@@ -235,6 +264,9 @@ class FaultInjector:
             self._state_for(link).add_blackout(start, start + spec.duration)
         self.log.append((start, f"blackout[{spec.direction}] "
                                 f"{spec.duration:.3f}s"))
+        self.env.tracer.instant("fault:blackout", category="fault",
+                                direction=spec.direction, start=start,
+                                duration=spec.duration)
 
     def _install_degrade(self, spec: DegradeSpec, start: float,
                          key: tuple) -> None:
@@ -249,6 +281,11 @@ class FaultInjector:
                                 f"x{spec.bandwidth_factor:.2f} "
                                 f"+{spec.extra_latency * 1e3:.1f}ms "
                                 f"{spec.duration:.3f}s"))
+        self.env.tracer.instant("fault:degrade", category="fault",
+                                direction=spec.direction, start=start,
+                                duration=spec.duration,
+                                bandwidth_factor=spec.bandwidth_factor,
+                                extra_latency=spec.extra_latency)
 
     def _crash_later(self, spec: CrashSpec, at: float, key: tuple) -> Generator:
         if at > self.env.now:
@@ -263,3 +300,5 @@ class FaultInjector:
         for link in self._host_links.get(spec.host, []):
             self._state_for(link).add_blackout(self.env.now, float("inf"))
         self.log.append((self.env.now, f"crash {spec.host}"))
+        self.env.tracer.instant("fault:crash", category="fault",
+                                host=spec.host)

@@ -5,7 +5,13 @@ messages are paced by an optional rate limiter, serialized onto the link,
 delivered after the propagation latency into the receiver's mailbox, and
 accounted against a per-category byte ledger (disk / memory / bitmap /
 pull / control ...) so the "amount of migrated data" metric can be broken
-down exactly as the paper reports it.
+down exactly as the paper reports it (Table I's "migrated data" row and
+the ~protocol-overhead discussion of §VI-B).
+
+Observability (see docs/OBSERVABILITY.md): every send also increments the
+``chan.<category>.bytes`` counter on ``env.metrics``, mirroring the byte
+ledger one-for-one — a traced run's counter totals equal the final
+report's ``bytes_by_category`` exactly.
 """
 
 from __future__ import annotations
@@ -89,6 +95,7 @@ class Channel:
             raise NetworkError(f"{self.name}: send failed: {exc}") from exc
         self.bytes_by_category[category] += nbytes
         self.messages_sent += 1
+        self.env.metrics.counter(f"chan.{category}.bytes").inc(nbytes)
         self.env.process(self._deliver(message, decompress),
                          name=f"{self.name}:deliver")
 

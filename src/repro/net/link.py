@@ -82,6 +82,7 @@ class Link:
             yield self.env.timeout(duration)
             self.busy_time += duration
         self.bytes_sent += nbytes
+        self.env.metrics.counter(f"link.{self.name}.bytes").inc(nbytes)
 
     @property
     def queue_length(self) -> int:

@@ -6,6 +6,8 @@ import heapq
 from typing import Any, Iterable, Optional
 
 from ..errors import SimulationError, StaleSchedulingError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from .events import AllOf, AnyOf, Event, Timeout, NORMAL
 from .process import Process, ProcessGenerator
 
@@ -24,6 +26,11 @@ class Environment:
         proc = env.process(worker(env))
         env.run()
         assert env.now == 1.0 and proc.value == "done"
+
+    Every environment carries an observability pair — :attr:`tracer` and
+    :attr:`metrics` — initialised to no-op singletons so instrumented
+    code can call them unconditionally at zero recording cost.  Install
+    live instances with :func:`repro.obs.install` to start recording.
     """
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -32,6 +39,14 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Span/instant recorder (:class:`repro.obs.Tracer` when installed).
+        self.tracer = NULL_TRACER
+        #: Counter/gauge/histogram registry
+        #: (:class:`repro.obs.MetricsRegistry` when installed).
+        self.metrics = NULL_METRICS
+        #: Events processed since construction (engine-level load signal,
+        #: kept as a plain int so the hot loop stays cheap either way).
+        self.events_processed = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -87,6 +102,7 @@ class Environment:
             raise SimulationError("no more events to process") from None
 
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

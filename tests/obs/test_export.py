@@ -1,0 +1,165 @@
+"""Exporter tests: Chrome trace-event and plain-JSON documents."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Tracer,
+    dump_chrome_trace,
+    dump_json,
+    phase_durations,
+    to_chrome_trace,
+    to_json,
+)
+
+
+@pytest.fixture
+def traced(env):
+    """A small but complete trace: nested spans, an instant, metrics."""
+    tracer = Tracer(env)
+    metrics = MetricsRegistry(env)
+
+    def proc(env):
+        mig = tracer.begin("migration:vm", category="migration",
+                           scheme="tpm")
+        phase = tracer.begin("phase:precopy-disk", category="phase")
+        metrics.counter("chan.disk.bytes").inc(4096)
+        yield env.timeout(2.0)
+        metrics.gauge("precopy.dirty_blocks").set(10)
+        metrics.histogram("postcopy.stall_seconds").observe(0.5)
+        tracer.end(phase)
+        tracer.instant("suspend", category="freeze")
+        yield env.timeout(0.5)
+        tracer.end(mig)
+
+    env.run(until=env.process(proc(env)))
+    return tracer, metrics
+
+
+class TestChromeTrace:
+    def test_round_trips_json_loads(self, traced):
+        tracer, metrics = traced
+        doc = to_chrome_trace(tracer, metrics)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_span_events(self, traced):
+        tracer, metrics = traced
+        doc = to_chrome_trace(tracer, metrics)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["migration:vm",
+                                              "phase:precopy-disk"]
+        mig, phase = spans
+        assert mig["ts"] == 0.0 and mig["dur"] == pytest.approx(2.5e6)
+        assert phase["dur"] == pytest.approx(2.0e6)  # microseconds
+        assert phase["args"]["parent"] == mig["args"]["sid"]
+        assert mig["cat"] == "migration" and mig["args"]["scheme"] == "tpm"
+
+    def test_instant_events(self, traced):
+        tracer, metrics = traced
+        doc = to_chrome_trace(tracer, metrics)
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["name"] == "suspend" and inst["s"] == "p"
+        assert inst["ts"] == pytest.approx(2.0e6)
+
+    def test_counter_tracks_skip_histograms(self, traced):
+        tracer, metrics = traced
+        doc = to_chrome_trace(tracer, metrics)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert names == {"chan.disk.bytes", "precopy.dirty_blocks"}
+        assert "postcopy.stall_seconds" not in names
+
+    def test_events_sorted_by_timestamp(self, traced):
+        tracer, metrics = traced
+        ts = [e["ts"] for e in to_chrome_trace(tracer, metrics)["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_header(self, traced):
+        tracer, metrics = traced
+        doc = to_chrome_trace(tracer, metrics)
+        assert doc["otherData"]["schema_version"] == SCHEMA_VERSION
+        assert doc["otherData"]["clock"] == "simulated-seconds"
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_null_tracer_emits_empty_document(self):
+        doc = to_chrome_trace(NULL_TRACER)
+        assert doc["traceEvents"] == []
+
+    def test_open_span_exports_zero_duration(self, env):
+        tracer = Tracer(env)
+        tracer.begin("still-open")
+        (event,) = to_chrome_trace(tracer)["traceEvents"]
+        assert event["dur"] == 0.0
+
+
+class TestPlainJson:
+    def test_round_trips_json_loads(self, traced):
+        tracer, metrics = traced
+        doc = to_json(tracer, metrics)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_structure(self, traced):
+        tracer, metrics = traced
+        doc = to_json(tracer, metrics)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert [s["name"] for s in doc["spans"]] == ["migration:vm",
+                                                     "phase:precopy-disk"]
+        assert doc["spans"][1]["duration"] == pytest.approx(2.0)
+        assert doc["instants"][0]["at"] == pytest.approx(2.0)
+        assert doc["metrics"]["chan.disk.bytes"]["total"] == 4096.0
+        assert doc["metrics"]["chan.disk.bytes"]["series"] == [[0.0, 4096.0]]
+
+    def test_metrics_omitted_when_not_passed(self, traced):
+        tracer, _ = traced
+        assert to_json(tracer)["metrics"] == {}
+
+
+class TestDumpFiles:
+    def test_dump_chrome_trace(self, traced, tmp_path):
+        tracer, metrics = traced
+        path = dump_chrome_trace(str(tmp_path / "t.trace.json"),
+                                 tracer, metrics)
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc == to_chrome_trace(tracer, metrics)
+
+    def test_dump_json(self, traced, tmp_path):
+        tracer, metrics = traced
+        path = dump_json(str(tmp_path / "t.json"), tracer, metrics)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh) == to_json(tracer, metrics)
+
+    def test_non_serializable_args_degrade_to_strings(self, env, tmp_path):
+        tracer = Tracer(env)
+        span = tracer.begin("weird", payload={1, 2})  # a set: not JSON
+        tracer.end(span)
+        path = dump_chrome_trace(str(tmp_path / "w.json"), tracer)
+        with open(path, encoding="utf-8") as fh:
+            json.load(fh)  # must not raise
+
+
+class TestPhaseDurations:
+    def test_sums_per_phase_and_strips_prefix(self, env):
+        tracer = Tracer(env)
+
+        def proc(env):
+            for _ in range(2):
+                span = tracer.begin("phase:precopy-disk", category="phase")
+                yield env.timeout(1.0)
+                tracer.end(span)
+            span = tracer.begin("phase:freeze", category="phase")
+            yield env.timeout(0.25)
+            tracer.end(span)
+            # Non-phase categories are excluded even with a phase-like name.
+            tracer.end(tracer.begin("phase:bogus", category="migration"))
+
+        env.run(until=env.process(proc(env)))
+        assert phase_durations(tracer) == {"precopy-disk": 2.0,
+                                           "freeze": 0.25}
+
+    def test_empty_tracer(self, env):
+        assert phase_durations(Tracer(env)) == {}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Check that intra-repository Markdown links resolve.
+
+Scans every ``*.md`` file under the repository root (skipping ``.git``
+and other generated directories) for inline links and verifies that each
+relative target exists on disk, resolved against the linking file's
+directory.  External links (``http://``, ``https://``, ``mailto:``) and
+pure-anchor links (``#section``) are ignored; an anchor suffix on a file
+link is stripped before the existence check.
+
+Exit status 0 when every link resolves, 1 otherwise (with one line per
+broken link: ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".benchmarks",
+             "node_modules", ".claude"}
+
+#: Inline Markdown links: ``[text](target)``, target captured lazily so
+#: titles (``[t](x "title")``) keep only the path part.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            out.append("")
+        else:
+            out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = strip_fences(path.read_text(encoding="utf-8"))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (path.parent / target_path).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(root)
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    nfiles = 0
+    for path in iter_markdown_files(root):
+        nfiles += 1
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err)
+    print(f"check_md_links: {nfiles} files scanned, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
