@@ -354,7 +354,9 @@ def run_locality_experiment(workload: str, duration: float = 120.0,
     return tracker.stats(), bed
 
 
-#: Baseline scheme registry for :func:`run_baseline_experiment`.
+#: The five registered schemes (TPM + the four §II baselines); kept as a
+#: tuple for CLI choices.  The authoritative list is the scheme registry
+#: (:func:`repro.core.scheme.scheme_names`).
 BASELINE_SCHEMES = ("tpm", "freeze-and-copy", "on-demand", "delta-queue",
                     "shared-storage")
 
@@ -367,52 +369,33 @@ def run_baseline_experiment(scheme: str, workload: str = "specweb",
                             **scheme_kwargs):
     """Run one migration scheme (TPM or a baseline) on the shared testbed.
 
-    Returns ``(report, bed, migration_object_or_None)``.  ``tail`` seconds
-    of post-migration run time let the on-demand baseline accumulate its
-    residual-dependency behaviour before the experiment ends.
-    """
-    from ..baselines import (
-        DeltaQueueMigration,
-        FreezeAndCopyMigration,
-        OnDemandMigration,
-        SharedStorageMigration,
-    )
-    from ..net.channel import Channel
-    from ..net.ratelimit import NullLimiter, TokenBucket
+    Every scheme — TPM included — goes through
+    :meth:`~repro.core.manager.Migrator.migrate`'s registry dispatch, so
+    they all share the same harness: channel wiring, rate limiting,
+    history recording, fault injection, and tracing.
 
+    Returns ``(report, bed, migration_object_or_None)``; the migration
+    object (None for TPM, for backwards compatibility) exposes
+    scheme-specific state such as the on-demand baseline's residual
+    dependency.  ``tail`` seconds of post-migration run time let the
+    on-demand baseline accumulate that behaviour before the experiment
+    ends.
+    """
+    from ..core.scheme import get_scheme
+
+    get_scheme(scheme)  # validate before building anything
     bed = build_testbed(workload, scale=scale, seed=seed, config=config,
                         observe=observe)
     bed.start_workload()
     bed.run_for(warmup)
 
-    if scheme == "tpm":
-        report = bed.migrate()
-        bed.run_for(tail)
-        return report, bed, None
-
-    classes = {
-        "freeze-and-copy": FreezeAndCopyMigration,
-        "on-demand": OnDemandMigration,
-        "delta-queue": DeltaQueueMigration,
-        "shared-storage": SharedStorageMigration,
-    }
-    if scheme not in classes:
-        raise ReproError(f"unknown scheme {scheme!r}")
-
-    env = bed.env
-    cfg = config if config is not None else bed.config
-    fwd_link, rev_link = bed.migrator.link_between(bed.source,
-                                                   bed.destination)
-    limiter = (TokenBucket(env, cfg.rate_limit, cfg.rate_limit_burst)
-               if cfg.rate_limit else NullLimiter())
-    fwd = Channel(env, fwd_link, limiter=limiter, name=f"{scheme}:fwd")
-    rev = Channel(env, rev_link, name=f"{scheme}:rev")
-    migration = classes[scheme](env, bed.domain, bed.source, bed.destination,
-                                fwd, rev, cfg, workload_name=workload,
-                                **scheme_kwargs)
-    proc = env.process(migration.run(), name=f"baseline:{scheme}")
-    report = env.run(until=proc)
+    proc = bed.migrator.migrate_process(
+        bed.domain, bed.destination, config, workload_name=workload,
+        scheme=scheme, scheme_kwargs=scheme_kwargs or None)
+    report = bed.env.run(until=proc)
     bed.run_for(tail)
+    migration = (None if scheme == "tpm"
+                 else bed.migrator.last_migration)
     return report, bed, migration
 
 

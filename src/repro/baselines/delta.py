@@ -20,85 +20,63 @@ Two pathologies the bitmap fixes are measured here:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Generator, Optional
 
 import numpy as np
 
-from ..core.config import MigrationConfig
 from ..core.memcopy import MemoryPreCopier
-from ..core.metrics import MigrationReport
+from ..core.scheme import MigrationScheme, register_scheme
 from ..core.transfer import BlockStreamer, PageStreamer
-from ..errors import MigrationError
+from ..errors import MigrationError, NetworkError
 from ..net.channel import Channel
 from ..net.messages import ControlMsg, CPUStateMsg, DeltaMsg
 from ..storage.block import IORequest
-from ..vm.domain import Domain
-from ..vm.host import Host
-from ..vm.memory import GuestMemory
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim import Environment
+from ..storage.vbd import VirtualBlockDevice
 
 
-class DeltaQueueMigration:
+@register_scheme
+class DeltaQueueMigration(MigrationScheme):
     """Whole-system migration with forward-and-replay storage sync."""
 
-    def __init__(
-        self,
-        env: "Environment",
-        domain: Domain,
-        source: Host,
-        destination: Host,
-        fwd_channel: Channel,
-        rev_channel: Channel,
-        config: Optional[MigrationConfig] = None,
-        workload_name: str = "unknown",
+    name = "delta-queue"
+    aliases = ("delta",)
+
+    def __init__(self, *args,
+                 throttle_watermark: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         #: Delay guest writes while more than this many delta bytes are
         #: waiting to be sent (None = no throttling).
-        throttle_watermark: Optional[int] = None,
-    ) -> None:
-        self.env = env
-        self.domain = domain
-        self.source = source
-        self.destination = destination
-        self.fwd = fwd_channel
-        self.rev = rev_channel
-        self.config = config if config is not None else MigrationConfig()
-        self.workload_name = workload_name
         self.throttle_watermark = throttle_watermark
         #: Deltas ride their own channel on the same physical link, so they
         #: contend with (but do not corrupt) the bulk pre-copy stream.
-        self.delta_channel = Channel(env, fwd_channel.link, name="delta")
-        self.report = MigrationReport(scheme="delta-queue",
-                                      workload=workload_name)
+        self.delta_channel = Channel(self.env, self.fwd.link, name="delta")
+        self.extra_channels.append(self.delta_channel)
         self._outbox: deque = deque()
         self._backlog_bytes = 0
         #: Deltas collected at the destination, awaiting replay.
         self._queue: deque = deque()
         self._forwarding = False
         self._seen = None
+        self._src_driver = None
+        self._procs: list = []
         self.redundant_blocks = 0
         self.delta_count = 0
         self.throttle_time = 0.0
 
     # ------------------------------------------------------------------
 
-    def run(self) -> Generator:
+    def _execute(self) -> Generator:
         env = self.env
         domain = self.domain
         cfg = self.config
         report = self.report
         tracer = env.tracer
-        report.started_at = env.now
-        mig_span = tracer.begin(f"migration:{domain.name}",
-                                category="migration", scheme=report.scheme,
-                                workload=report.workload)
 
-        if domain.host is not self.source:
-            raise MigrationError(f"{domain} is not on the source host")
+        from ..vm.memory import GuestMemory
 
         src_vbd = self.source.vbd_of(domain.domain_id)
-        src_driver = self.source.driver_of(domain.domain_id)
+        src_driver = self._src_driver = self.source.driver_of(
+            domain.domain_id)
         dest_vbd = self.destination.prepare_vbd(
             src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
         self._seen = np.zeros(src_vbd.nblocks, dtype=bool)
@@ -112,8 +90,10 @@ class DeltaQueueMigration:
                              name="delta:send")
         collector = env.process(self._delta_collector(),
                                 name="delta:collect")
+        self._procs = [sender, collector]
 
         # Single-pass bulk disk copy.
+        self._notify_phase("precopy-disk")
         disk_span = tracer.begin("phase:precopy-disk", category="phase",
                                  blocks=int(src_vbd.nblocks))
         report.precopy_disk_started_at = env.now
@@ -126,6 +106,7 @@ class DeltaQueueMigration:
         tracer.end(disk_span)
 
         # Memory pre-copy (disk writes keep being forwarded meanwhile).
+        self._notify_phase("precopy-mem")
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         pages = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
@@ -137,6 +118,8 @@ class DeltaQueueMigration:
         tracer.end(mem_span, rounds=len(report.mem_rounds))
 
         # Freeze-and-copy.
+        self._committed = True
+        self._notify_phase("freeze")
         domain.suspend()
         freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
@@ -186,6 +169,7 @@ class DeltaQueueMigration:
                    final_dirty_pages=report.final_dirty_pages)
 
         # Replay the queue in arrival order.
+        self._notify_phase("delta-replay")
         replay_span = tracer.begin("phase:delta-replay", category="phase",
                                    queued=len(self._queue))
         replay_started = env.now
@@ -208,16 +192,22 @@ class DeltaQueueMigration:
         tracer.end(replay_span, delta_count=self.delta_count,
                    redundant_blocks=self.redundant_blocks)
         report.ended_at = env.now
-        tracer.end(mig_span,
-                   total_migration_time=report.total_migration_time,
-                   downtime=report.downtime)
-
-        ledger = dict(self.fwd.bytes_by_category)
-        for chan in (self.rev, self.delta_channel):
-            for key, val in chan.bytes_by_category.items():
-                ledger[key] = ledger.get(key, 0) + val
-        report.bytes_by_category = ledger
         return report
+
+    # -- failure -----------------------------------------------------------
+
+    def _on_failure(self, exc: NetworkError) -> Optional[VirtualBlockDevice]:
+        """Tear down the write-forwarding plumbing on a mid-flight death."""
+        self._forwarding = False
+        if self._src_driver is not None:
+            if self._observe_write in self._src_driver.write_observers:
+                self._src_driver.write_observers.remove(self._observe_write)
+            if self._src_driver.interceptor is self._throttle:
+                self._src_driver.interceptor = None
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("migration failed")
+        return None
 
     # -- source side -------------------------------------------------------
 
@@ -246,28 +236,39 @@ class DeltaQueueMigration:
         """Ship queued deltas over the delta channel until forwarding ends
         and the outbox is empty."""
         env = self.env
-        while self._forwarding or self._outbox:
-            if not self._outbox:
-                yield env.timeout(1e-3)
-                continue
-            block, nblocks = self._outbox.popleft()
-            idx = np.arange(block, block + nblocks, dtype=np.int64)
-            # Content is captured at send time; replay in order still
-            # converges to the source's final state (a later rewrite simply
-            # ships its newer content twice).
-            stamps, data = src_vbd.export_blocks(idx)
-            msg = DeltaMsg(block, nblocks, src_vbd.block_size, stamps, data)
-            yield from self.delta_channel.send(msg, category="delta")
-            self._backlog_bytes -= nblocks * src_vbd.block_size
-        yield from self.delta_channel.send(ControlMsg("deltas-done"),
-                                           category="control", limited=False)
+        from ..sim import Interrupt
+
+        try:
+            while self._forwarding or self._outbox:
+                if not self._outbox:
+                    yield env.timeout(1e-3)
+                    continue
+                block, nblocks = self._outbox.popleft()
+                idx = np.arange(block, block + nblocks, dtype=np.int64)
+                # Content is captured at send time; replay in order still
+                # converges to the source's final state (a later rewrite
+                # simply ships its newer content twice).
+                stamps, data = src_vbd.export_blocks(idx)
+                msg = DeltaMsg(block, nblocks, src_vbd.block_size, stamps,
+                               data)
+                yield from self.delta_channel.send(msg, category="delta")
+                self._backlog_bytes -= nblocks * src_vbd.block_size
+            yield from self.delta_channel.send(
+                ControlMsg("deltas-done"), category="control", limited=False)
+        except Interrupt:
+            return
 
     def _delta_collector(self) -> Generator:
         """Destination side: queue arriving deltas for later replay."""
-        while True:
-            msg = yield self.delta_channel.recv()
-            if isinstance(msg, ControlMsg) and msg.tag == "deltas-done":
-                break
-            if isinstance(msg, DeltaMsg):
-                self._queue.append((msg.block, msg.nblocks, msg.stamps,
-                                    msg.data))
+        from ..sim import Interrupt
+
+        try:
+            while True:
+                msg = yield self.delta_channel.recv()
+                if isinstance(msg, ControlMsg) and msg.tag == "deltas-done":
+                    break
+                if isinstance(msg, DeltaMsg):
+                    self._queue.append((msg.block, msg.nblocks, msg.stamps,
+                                        msg.data))
+        except Interrupt:
+            return

@@ -10,68 +10,38 @@ baseline TPM's three phases exist to destroy.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Generator
 
 import numpy as np
 
-from ..core.config import MigrationConfig
-from ..core.metrics import MigrationReport
+from ..core.scheme import MigrationScheme, register_scheme
 from ..core.transfer import BlockStreamer, PageStreamer
 from ..errors import MigrationError
-from ..net.channel import Channel
 from ..net.messages import CPUStateMsg
-from ..vm.domain import Domain
-from ..vm.host import Host
 from ..vm.memory import GuestMemory
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim import Environment
 
-
-class FreezeAndCopyMigration:
+@register_scheme
+class FreezeAndCopyMigration(MigrationScheme):
     """Suspend → copy everything → resume."""
 
-    def __init__(
-        self,
-        env: "Environment",
-        domain: Domain,
-        source: Host,
-        destination: Host,
-        fwd_channel: Channel,
-        rev_channel: Channel,
-        config: Optional[MigrationConfig] = None,
-        workload_name: str = "unknown",
-    ) -> None:
-        self.env = env
-        self.domain = domain
-        self.source = source
-        self.destination = destination
-        self.fwd = fwd_channel
-        self.rev = rev_channel
-        self.config = config if config is not None else MigrationConfig()
-        self.report = MigrationReport(scheme="freeze-and-copy",
-                                      workload=workload_name)
+    name = "freeze-and-copy"
+    aliases = ("freeze-copy",)
 
-    def run(self) -> Generator:
-        """Execute the migration; returns a :class:`MigrationReport`."""
+    def _execute(self) -> Generator:
         env = self.env
         domain = self.domain
         cfg = self.config
         report = self.report
         tracer = env.tracer
-        report.started_at = env.now
-        mig_span = tracer.begin(f"migration:{domain.name}",
-                                category="migration", scheme=report.scheme,
-                                workload=report.workload)
-
-        if domain.host is not self.source:
-            raise MigrationError(f"{domain} is not on the source host")
 
         src_vbd = self.source.vbd_of(domain.domain_id)
         dest_vbd = self.destination.prepare_vbd(
             src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
 
         # Freeze first: everything below happens with the VM down.
+        self._committed = True
+        self._notify_phase("freeze")
         domain.suspend()
         freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
@@ -115,11 +85,7 @@ class FreezeAndCopyMigration:
                        downtime=report.resumed_at - report.suspended_at)
         tracer.end(freeze_span)
         report.ended_at = env.now
-        tracer.end(mig_span,
-                   total_migration_time=report.total_migration_time,
-                   downtime=report.downtime)
 
-        report.bytes_by_category = dict(self.fwd.bytes_by_category)
         if cfg.verify_consistency:
             src_vbd.assert_identical(dest_vbd)
             report.consistency_verified = True

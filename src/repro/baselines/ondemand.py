@@ -17,20 +17,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..bitmap import FlatBitmap
-from ..core.config import MigrationConfig
 from ..core.memcopy import MemoryPreCopier
-from ..core.metrics import MigrationReport
+from ..core.scheme import MigrationScheme, register_scheme
 from ..core.transfer import PageStreamer
 from ..errors import MigrationError
-from ..net.channel import Channel
-from ..net.messages import BlockDataMsg, ControlMsg, CPUStateMsg, PullRequestMsg
+from ..net.messages import BlockDataMsg, CPUStateMsg, PullRequestMsg
 from ..storage.block import IORequest
-from ..vm.domain import Domain
-from ..vm.host import Host
 from ..vm.memory import GuestMemory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim import Environment, Event
+    from ..sim import Event
 
 
 def availability(p: float, machines: int = 2) -> float:
@@ -40,29 +36,15 @@ def availability(p: float, machines: int = 2) -> float:
     return p ** machines
 
 
-class OnDemandMigration:
+@register_scheme
+class OnDemandMigration(MigrationScheme):
     """Live memory migration with delayed, access-driven storage fetching."""
 
-    def __init__(
-        self,
-        env: "Environment",
-        domain: Domain,
-        source: Host,
-        destination: Host,
-        fwd_channel: Channel,
-        rev_channel: Channel,
-        config: Optional[MigrationConfig] = None,
-        workload_name: str = "unknown",
-    ) -> None:
-        self.env = env
-        self.domain = domain
-        self.source = source
-        self.destination = destination
-        self.fwd = fwd_channel
-        self.rev = rev_channel
-        self.config = config if config is not None else MigrationConfig()
-        self.report = MigrationReport(scheme="on-demand",
-                                      workload=workload_name)
+    name = "on-demand"
+    aliases = ("ondemand",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         #: Blocks already valid on the destination.
         self.present: Optional[FlatBitmap] = None
         #: Blocks fetched so far / reads that stalled on a fetch.
@@ -100,7 +82,12 @@ class OnDemandMigration:
 
     # -- migration -------------------------------------------------------
 
-    def run(self) -> Generator:
+    def _end_attrs(self) -> dict:
+        attrs = super()._end_attrs()
+        attrs["residual_blocks"] = self.residual_blocks
+        return attrs
+
+    def _execute(self) -> Generator:
         """Execute the live phase; returns a :class:`MigrationReport`.
 
         On return the VM runs on the destination but the fetch service
@@ -111,13 +98,6 @@ class OnDemandMigration:
         cfg = self.config
         report = self.report
         tracer = env.tracer
-        report.started_at = env.now
-        mig_span = tracer.begin(f"migration:{domain.name}",
-                                category="migration", scheme=report.scheme,
-                                workload=report.workload)
-
-        if domain.host is not self.source:
-            raise MigrationError(f"{domain} is not on the source host")
 
         self._src_vbd = self.source.vbd_of(domain.domain_id)
         self._dest_vbd = self.destination.prepare_vbd(
@@ -125,6 +105,7 @@ class OnDemandMigration:
             data=self._src_vbd.has_data)
 
         # Live memory migration (identical to the shared-storage scheme).
+        self._notify_phase("precopy-mem")
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         streamer = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
@@ -135,6 +116,8 @@ class OnDemandMigration:
         report.precopy_mem_ended_at = env.now
         tracer.end(mem_span, rounds=len(report.mem_rounds))
 
+        self._committed = True
+        self._notify_phase("freeze")
         domain.suspend()
         freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
@@ -173,16 +156,9 @@ class OnDemandMigration:
                        downtime=report.resumed_at - report.suspended_at)
         tracer.end(freeze_span,
                    final_dirty_pages=report.final_dirty_pages)
+        self._notify_phase("fetch")
         report.ended_at = env.now  # the *live* migration is over...
-        tracer.end(mig_span,
-                   total_migration_time=report.total_migration_time,
-                   downtime=report.downtime,
-                   residual_blocks=self.residual_blocks)
         report.extra["residual_blocks_at_resume"] = self.residual_blocks
-        report.bytes_by_category = dict(self.fwd.bytes_by_category)
-        for key, val in self.rev.bytes_by_category.items():
-            report.bytes_by_category[key] = (
-                report.bytes_by_category.get(key, 0) + val)
         return report
 
     # -- destination: on-demand interception ---------------------------------

@@ -8,66 +8,35 @@ and the scheme TPM generalises by adding local-storage migration.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Generator
 
-from ..core.config import MigrationConfig
 from ..core.memcopy import MemoryPreCopier
-from ..core.metrics import MigrationReport
+from ..core.scheme import MigrationScheme, register_scheme
 from ..core.transfer import PageStreamer
 from ..errors import MigrationError
-from ..net.channel import Channel
-from ..net.messages import ControlMsg, CPUStateMsg
-from ..vm.domain import Domain
-from ..vm.host import Host
+from ..net.messages import CPUStateMsg
 from ..vm.memory import GuestMemory
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim import Environment
 
-
-class SharedStorageMigration:
+@register_scheme
+class SharedStorageMigration(MigrationScheme):
     """Memory+CPU live migration over shared disk storage."""
 
-    def __init__(
-        self,
-        env: "Environment",
-        domain: Domain,
-        source: Host,
-        destination: Host,
-        fwd_channel: Channel,
-        rev_channel: Channel,
-        config: Optional[MigrationConfig] = None,
-        workload_name: str = "unknown",
-    ) -> None:
-        self.env = env
-        self.domain = domain
-        self.source = source
-        self.destination = destination
-        self.fwd = fwd_channel
-        self.rev = rev_channel
-        self.config = config if config is not None else MigrationConfig()
-        self.report = MigrationReport(scheme="shared-storage",
-                                      workload=workload_name)
+    name = "shared-storage"
+    aliases = ("shared",)
 
-    def run(self) -> Generator:
-        """Execute the migration; returns a :class:`MigrationReport`."""
+    def _execute(self) -> Generator:
         env = self.env
         domain = self.domain
         cfg = self.config
         report = self.report
         tracer = env.tracer
-        report.started_at = env.now
-        mig_span = tracer.begin(f"migration:{domain.name}",
-                                category="migration", scheme=report.scheme,
-                                workload=report.workload)
-
-        if domain.host is not self.source:
-            raise MigrationError(f"{domain} is not on the source host")
 
         # The disk is shared: the destination attaches the *same* VBD.
         shared_vbd = self.source.vbd_of(domain.domain_id)
 
         # Iterative memory pre-copy.
+        self._notify_phase("precopy-mem")
         shadow = GuestMemory(domain.memory.npages, domain.memory.page_size,
                              clock=domain.memory.clock)
         streamer = PageStreamer(env, domain.memory, shadow, self.fwd, cfg)
@@ -79,6 +48,8 @@ class SharedStorageMigration:
         tracer.end(mem_span, rounds=len(report.mem_rounds))
 
         # Freeze: final dirty pages + CPU state.
+        self._committed = True
+        self._notify_phase("freeze")
         domain.suspend()
         freeze_span = tracer.begin("phase:freeze", category="phase")
         report.suspended_at = env.now
@@ -108,10 +79,6 @@ class SharedStorageMigration:
         tracer.end(freeze_span,
                    final_dirty_pages=report.final_dirty_pages)
         report.ended_at = env.now
-        tracer.end(mig_span,
-                   total_migration_time=report.total_migration_time,
-                   downtime=report.downtime)
 
-        report.bytes_by_category = dict(self.fwd.bytes_by_category)
         report.consistency_verified = True  # trivially: the disk is shared
         return report

@@ -33,8 +33,8 @@ from .analysis import (
     run_table1_experiment,
     run_table2_experiment,
 )
-from .analysis.experiments import BASELINE_SCHEMES, run_baseline_experiment
-from .core import MigrationConfig
+from .analysis.experiments import run_baseline_experiment
+from .core import MigrationConfig, scheme_names
 from .units import fmt_bytes, fmt_time
 
 WORKLOADS = ("specweb", "video", "bonnie", "kernelbuild", "idle")
@@ -182,6 +182,45 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_evacuate(args: argparse.Namespace) -> int:
+    """Evacuate one host of a simulated cluster through the scheduler."""
+    from .cluster import RoundRobin, build_cluster, least_loaded
+
+    bed = build_cluster(
+        nhosts=args.hosts, vms_per_host=args.vms_per_host,
+        wiring=args.wiring, nblocks=args.nblocks, npages=args.npages,
+        max_concurrent=args.concurrency, per_link_limit=args.per_link_limit,
+        observe=args.trace is not None)
+    policy = (RoundRobin() if args.policy == "round-robin"
+              else least_loaded)
+    victim = bed.hosts[0]
+    jobs = bed.scheduler.evacuate(victim, policy=policy, scheme=args.scheme)
+    bed.scheduler.drain(jobs)
+    print(f"evacuated {victim.name}: {len(jobs)} VMs, "
+          f"makespan {fmt_time(bed.scheduler.makespan(jobs))}")
+    for job in jobs:
+        status = job.status
+        downtime = (fmt_time(job.report.downtime)
+                    if job.report is not None and job.succeeded else "-")
+        print(f"  {job.domain.name:<16s} -> {job.destination.name:<8s} "
+              f"{status:<7s} queue {fmt_time(job.queue_time)} "
+              f"downtime {downtime}")
+    from .cluster import audit_link_bytes
+
+    bad = [a for a in audit_link_bytes(bed.migrator.migrations)
+           if not a.conserved]
+    print(f"per-link byte accounting: "
+          f"{'conserved' if not bad else f'{len(bad)} MISMATCHES'}")
+    if args.trace:
+        from .obs import dump_chrome_trace, dump_json
+
+        dump = (dump_chrome_trace if args.trace_format == "chrome"
+                else dump_json)
+        path = dump(args.trace, bed.env.tracer, bed.env.metrics)
+        print(f"trace written to {path} ({args.trace_format} format)")
+    return 0 if not bad and all(j.succeeded for j in jobs) else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     report, _bed = run_table1_experiment(
         args.workload, scale=args.scale, seed=args.seed, warmup=args.warmup)
@@ -247,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         "migrate", help="run one migration and print the report")
     _add_common(p_migrate)
     _add_config(p_migrate)
-    p_migrate.add_argument("--scheme", choices=BASELINE_SCHEMES,
+    p_migrate.add_argument("--scheme", choices=scheme_names(aliases=True),
                            default="tpm", help="migration scheme")
     p_migrate.add_argument("--roundtrip", action="store_true",
                            help="also migrate back (IM) after --dwell")
@@ -261,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run one traced migration and dump the trace file")
     _add_common(p_trace)
     _add_config(p_trace)
-    p_trace.add_argument("--scheme", choices=BASELINE_SCHEMES,
+    p_trace.add_argument("--scheme", choices=scheme_names(aliases=True),
                          default="tpm", help="migration scheme")
     p_trace.add_argument("--out", metavar="PATH",
                          default="migration.trace.json",
@@ -272,6 +311,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="'chrome' loads into chrome://tracing "
                               "(default); 'json' is the raw dump")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_evac = sub.add_parser(
+        "evacuate", help="drain one host of a simulated cluster")
+    p_evac.add_argument("--hosts", type=int, default=4,
+                        help="number of hosts (default: 4)")
+    p_evac.add_argument("--vms-per-host", type=int, default=2,
+                        help="VMs per host (default: 2)")
+    p_evac.add_argument("--wiring", choices=("full", "star", "rack"),
+                        default="star", help="cluster wiring (default: star)")
+    p_evac.add_argument("--concurrency", type=int, default=4,
+                        help="admission cap: concurrent migrations "
+                             "(default: 4)")
+    p_evac.add_argument("--per-link-limit", type=int, default=None,
+                        help="max in-flight migrations per link "
+                             "(default: unlimited)")
+    p_evac.add_argument("--policy", choices=("least-loaded", "round-robin"),
+                        default="least-loaded", help="placement policy")
+    p_evac.add_argument("--scheme", choices=scheme_names(aliases=True), default="tpm",
+                        help="migration scheme (default: tpm)")
+    p_evac.add_argument("--nblocks", type=int, default=2048,
+                        help="VBD blocks per VM (default: 2048)")
+    p_evac.add_argument("--npages", type=int, default=256,
+                        help="memory pages per VM (default: 256)")
+    _add_trace(p_evac)
+    p_evac.set_defaults(func=cmd_evacuate)
 
     p_t1 = sub.add_parser("table1", help="reproduce a Table I row")
     _add_common(p_t1)

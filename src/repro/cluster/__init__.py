@@ -1,0 +1,37 @@
+"""Cluster-scale migration orchestration (ROADMAP north star).
+
+Builds the layer above the point-to-point
+:class:`~repro.core.manager.Migrator`: a
+:class:`~repro.cluster.scheduler.ClusterScheduler` that runs many
+migrations concurrently over a shared
+:class:`~repro.net.topology.Topology` with admission control and
+per-link in-flight limits, placement policies for evacuation and
+rebalancing, and a per-link byte-conservation audit.
+
+Typical use::
+
+    from repro.cluster import build_cluster
+
+    bed = build_cluster(nhosts=4, vms_per_host=2, wiring="star")
+    jobs = bed.scheduler.evacuate(bed.hosts[0])
+    bed.scheduler.drain(jobs)
+    print(bed.scheduler.makespan(jobs))
+"""
+
+from .accounting import LinkAudit, assert_conserved, audit_link_bytes
+from .placement import RoundRobin, least_loaded, pack_smallest_name
+from .scheduler import ClusterScheduler, MigrationJob
+from .testbed import ClusterBed, build_cluster
+
+__all__ = [
+    "ClusterBed",
+    "ClusterScheduler",
+    "LinkAudit",
+    "MigrationJob",
+    "RoundRobin",
+    "assert_conserved",
+    "audit_link_bytes",
+    "build_cluster",
+    "least_loaded",
+    "pack_smallest_name",
+]

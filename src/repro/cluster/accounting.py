@@ -1,0 +1,87 @@
+"""Per-link byte-conservation audit for concurrent migrations.
+
+Every wire byte a migration sends is charged twice: once on the
+:class:`~repro.net.channel.Channel`'s per-category ledger and once on
+each physical :class:`~repro.net.link.Link` the message traverses
+(multi-hop :class:`~repro.net.topology.RoutedPath` transfers charge
+every hop).  When migrations are the only traffic, the two ledgers must
+agree on every link:
+
+    link.bytes_sent == Σ channel.total_bytes over channels routed
+                       through that link
+
+:func:`audit_link_bytes` checks exactly that across a set of finished
+migrations — the invariant the bench/tests assert to show concurrent
+contention never loses or double-counts a byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..net.link import Link
+from ..net.topology import RoutedPath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.scheme import MigrationScheme
+
+
+@dataclass
+class LinkAudit:
+    """Conservation verdict for one directional link."""
+
+    link: Link
+    #: Bytes the channels routed over this link claim to have sent.
+    expected: int
+    #: Bytes the link itself counted.
+    actual: int
+
+    @property
+    def conserved(self) -> bool:
+        return self.expected == self.actual
+
+    def __repr__(self) -> str:
+        flag = "ok" if self.conserved else "MISMATCH"
+        return (f"<LinkAudit {self.link.name!r} expected={self.expected} "
+                f"actual={self.actual} {flag}>")
+
+
+def _hops(path) -> tuple[Link, ...]:
+    if isinstance(path, RoutedPath):
+        return path.hops
+    return (path,)
+
+
+def audit_link_bytes(migrations: Iterable["MigrationScheme"]
+                     ) -> list[LinkAudit]:
+    """Audit every physical link touched by ``migrations``.
+
+    Valid when the migrations are the only traffic on those links (the
+    cluster benchmarks arrange exactly that).  Returns one
+    :class:`LinkAudit` per directional link, sorted by link name.
+    """
+    expected: dict[int, int] = {}
+    links: dict[int, Link] = {}
+    for migration in migrations:
+        for channel in migration.channels:
+            for hop in _hops(channel.link):
+                key = id(hop)
+                links[key] = hop
+                expected[key] = expected.get(key, 0) + channel.total_bytes
+    audits = [LinkAudit(link=links[key], expected=expected[key],
+                        actual=links[key].bytes_sent)
+              for key in links]
+    audits.sort(key=lambda a: a.link.name)
+    return audits
+
+
+def assert_conserved(migrations: Iterable["MigrationScheme"]) -> None:
+    """Raise ``AssertionError`` listing every link whose ledger and wire
+    counter disagree."""
+    bad = [audit for audit in audit_link_bytes(migrations)
+           if not audit.conserved]
+    if bad:
+        raise AssertionError(
+            "per-link byte accounting not conserved: "
+            + ", ".join(repr(audit) for audit in bad))

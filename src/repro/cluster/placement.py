@@ -1,0 +1,57 @@
+"""Placement policies: choose a destination host for a migrating VM.
+
+A policy is a callable ``policy(domain, candidates, loads) -> Host``:
+
+* ``domain`` — the :class:`~repro.vm.domain.Domain` being placed;
+* ``candidates`` — eligible destination hosts, sorted by name (never
+  empty, never contains the domain's current host);
+* ``loads`` — host name → *planned* domain count: current residents plus
+  migrations already scheduled toward that host, so a burst of placement
+  decisions made at the same instant spreads out instead of dog-piling
+  the momentarily emptiest machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..errors import MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..vm.domain import Domain
+    from ..vm.host import Host
+
+PlacementPolicy = Callable[["Domain", Sequence["Host"], dict], "Host"]
+
+
+def least_loaded(domain: "Domain", candidates: Sequence["Host"],
+                 loads: dict) -> "Host":
+    """Pick the candidate with the fewest (planned) domains; ties break
+    by name, so placement is deterministic."""
+    return min(candidates, key=lambda h: (loads.get(h.name, 0), h.name))
+
+
+class RoundRobin:
+    """Cycle through the candidate hosts in name order.
+
+    Stateful: one instance remembers its position across calls, so a
+    stream of placements rotates evenly regardless of load.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __call__(self, domain: "Domain", candidates: Sequence["Host"],
+                 loads: dict) -> "Host":
+        if not candidates:
+            raise MigrationError("no candidate hosts to place on")
+        host = candidates[self._next % len(candidates)]
+        self._next += 1
+        return host
+
+
+def pack_smallest_name(domain: "Domain", candidates: Sequence["Host"],
+                       loads: dict) -> "Host":
+    """Always pick the first candidate by name (pack, don't spread) —
+    useful for consolidation experiments."""
+    return min(candidates, key=lambda h: h.name)

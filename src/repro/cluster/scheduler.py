@@ -1,0 +1,300 @@
+"""Cluster-scale migration orchestration.
+
+The paper's mechanism is point-to-point: one VM, one source, one
+destination.  Production clusters (ROADMAP north star) run *many*
+migrations at once — evacuating a machine for maintenance, rebalancing
+after load shifts — over a shared topology where concurrent transfers
+contend for links.  :class:`ClusterScheduler` turns the point-to-point
+:class:`~repro.core.manager.Migrator` into that layer:
+
+* **submission** — :meth:`submit` queues one VM move as a
+  :class:`MigrationJob` and runs it as a simulation process;
+* **admission control** — at most ``max_concurrent`` migrations run at
+  once (a :class:`~repro.sim.Resource`); the rest wait FIFO;
+* **per-link in-flight limits** — with ``per_link_limit`` set, a job
+  must hold a slot on every duplex link its route crosses before it
+  starts.  Slots are acquired in sorted link order, so two jobs wanting
+  overlapping link sets can never deadlock;
+* **policies** — :meth:`evacuate` empties a host and :meth:`rebalance`
+  spreads domains, both choosing destinations through a pluggable
+  placement policy (:mod:`repro.cluster.placement`).
+
+Failed migrations are contained: the job records the
+:class:`~repro.errors.MigrationFailed` and the scheduler moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..core.manager import Migrator
+from ..core.metrics import MigrationReport
+from ..errors import MigrationError
+from ..sim import Resource
+from .placement import PlacementPolicy, least_loaded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import MigrationConfig
+    from ..sim import Environment, Process
+    from ..vm.domain import Domain
+    from ..vm.host import Host
+
+
+@dataclass
+class MigrationJob:
+    """One scheduled VM move and its lifecycle."""
+
+    domain: "Domain"
+    destination: "Host"
+    scheme: str = "tpm"
+    workload_name: str = "unknown"
+    #: pending -> running -> done | failed
+    status: str = "pending"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    ended_at: Optional[float] = None
+    report: Optional[MigrationReport] = None
+    error: Optional[Exception] = None
+    process: Optional["Process"] = None
+    scheme_kwargs: dict = field(default_factory=dict)
+
+    @property
+    def queue_time(self) -> float:
+        """Seconds spent waiting for admission + link slots."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "done"
+
+
+class ClusterScheduler:
+    """Runs many migrations concurrently over a shared topology."""
+
+    def __init__(self, env: "Environment", migrator: Migrator,
+                 max_concurrent: int = 4,
+                 per_link_limit: Optional[int] = None,
+                 config: Optional["MigrationConfig"] = None) -> None:
+        if max_concurrent < 1:
+            raise MigrationError(
+                f"max_concurrent must be >= 1, got {max_concurrent}")
+        if per_link_limit is not None and per_link_limit < 1:
+            raise MigrationError(
+                f"per_link_limit must be >= 1, got {per_link_limit}")
+        self.env = env
+        self.migrator = migrator
+        self.config = config
+        self.max_concurrent = max_concurrent
+        self.per_link_limit = per_link_limit
+        self._admission = Resource(env, capacity=max_concurrent)
+        #: duplex-link name -> in-flight slot resource (lazy).
+        self._link_slots: dict[str, Resource] = {}
+        #: Every job ever submitted, in submission order.
+        self.jobs: list[MigrationJob] = []
+        #: host name -> migrations currently scheduled *toward* that host
+        #: but not yet completed (placement looks at planned load).
+        self._inbound: dict[str, int] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def running(self) -> int:
+        """Jobs currently holding an admission slot."""
+        return self._admission.count
+
+    @property
+    def waiting(self) -> int:
+        """Jobs queued for admission."""
+        return self._admission.queue_length
+
+    def planned_load(self) -> dict[str, int]:
+        """Host name -> resident domains + inbound scheduled migrations."""
+        loads = {name: len(host.domains)
+                 for name, host in self.migrator.topology.hosts.items()}
+        for name, inbound in self._inbound.items():
+            loads[name] = loads.get(name, 0) + inbound
+        return loads
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, domain: "Domain", destination: "Host",
+               scheme: str = "tpm", workload_name: str = "unknown",
+               config: Optional["MigrationConfig"] = None,
+               scheme_kwargs: Optional[dict] = None) -> MigrationJob:
+        """Queue one migration; returns its :class:`MigrationJob`.
+
+        The job runs as a simulation process — drive the environment
+        (``env.run`` / :meth:`drain`) to make progress.
+        """
+        job = MigrationJob(domain=domain, destination=destination,
+                           scheme=scheme, workload_name=workload_name,
+                           submitted_at=self.env.now,
+                           scheme_kwargs=dict(scheme_kwargs or {}))
+        self.jobs.append(job)
+        self._inbound[destination.name] = (
+            self._inbound.get(destination.name, 0) + 1)
+        job.process = self.env.process(
+            self._run(job, config),
+            name=f"cluster:{domain.name}->{destination.name}")
+        return job
+
+    def _slots_for(self, source: "Host", destination: "Host"
+                   ) -> list[Resource]:
+        """In-flight slot resources for every duplex link on the route,
+        in sorted name order (global acquisition order → no deadlock)."""
+        if self.per_link_limit is None:
+            return []
+        duplexes = self.migrator.topology.duplex_links_between(
+            source, destination)
+        named = {duplex.forward.name: duplex for duplex in duplexes}
+        slots = []
+        for name in sorted(named):
+            slot = self._link_slots.get(name)
+            if slot is None:
+                slot = self._link_slots[name] = Resource(
+                    self.env, capacity=self.per_link_limit)
+            slots.append(slot)
+        return slots
+
+    def _run(self, job: MigrationJob,
+             config: Optional["MigrationConfig"]) -> Generator:
+        env = self.env
+        tracer = env.tracer
+        with self._admission.request() as admission:
+            yield admission
+            source = job.domain.host
+            if source is None:
+                job.status = "failed"
+                job.error = MigrationError(
+                    f"{job.domain} is not running on any host")
+                job.ended_at = env.now
+                self._inbound[job.destination.name] -= 1
+                return
+            grants = []
+            try:
+                for slot in self._slots_for(source, job.destination):
+                    request = slot.request()
+                    grants.append(request)
+                    yield request
+                job.status = "running"
+                job.started_at = env.now
+                span = tracer.begin(f"cluster:job:{job.domain.name}",
+                                    category="cluster", scheme=job.scheme,
+                                    src=source.name,
+                                    dst=job.destination.name,
+                                    queue_time=job.queue_time)
+                try:
+                    job.report = yield from self.migrator.migrate(
+                        job.domain, job.destination,
+                        config if config is not None else self.config,
+                        workload_name=job.workload_name,
+                        scheme=job.scheme,
+                        scheme_kwargs=job.scheme_kwargs or None)
+                    job.status = "done"
+                    tracer.end(span, status="done")
+                except MigrationError as exc:
+                    job.status = "failed"
+                    job.error = exc
+                    job.report = getattr(exc, "report", None)
+                    tracer.end(span, status="failed", failure=str(exc))
+            finally:
+                job.ended_at = env.now
+                self._inbound[job.destination.name] -= 1
+                for request in grants:
+                    request.release()
+        self.env.metrics.counter(
+            f"cluster.jobs.{job.status}").inc()
+
+    # -- bulk operations ---------------------------------------------------
+
+    def _candidates(self, exclude: "Host") -> list["Host"]:
+        hosts = [host for host in self.migrator.topology.hosts.values()
+                 if host is not exclude and not host.crashed]
+        hosts.sort(key=lambda h: h.name)
+        if not hosts:
+            raise MigrationError(
+                f"no destination candidates besides {exclude.name!r}")
+        return hosts
+
+    def evacuate(self, host: "Host",
+                 policy: PlacementPolicy = least_loaded,
+                 scheme: str = "tpm",
+                 workload_name: str = "unknown") -> list[MigrationJob]:
+        """Schedule every domain off ``host`` (maintenance drain).
+
+        Destinations are chosen by ``policy`` against planned load, so a
+        burst of simultaneous placements spreads across the cluster.
+        Returns the submitted jobs; drive the env (or :meth:`drain`) to
+        execute them.
+        """
+        jobs = []
+        loads = self.planned_load()
+        for domain in sorted(host.domains, key=lambda d: d.domain_id):
+            destination = policy(domain, self._candidates(host), loads)
+            loads[destination.name] = loads.get(destination.name, 0) + 1
+            jobs.append(self.submit(domain, destination, scheme=scheme,
+                                    workload_name=workload_name))
+        self.env.tracer.instant("cluster:evacuate", category="cluster",
+                                host=host.name, jobs=len(jobs))
+        return jobs
+
+    def rebalance(self, policy: PlacementPolicy = least_loaded,
+                  scheme: str = "tpm") -> list[MigrationJob]:
+        """One pass of load spreading: move domains off hosts above the
+        ceiling of the mean planned load onto policy-chosen targets."""
+        jobs: list[MigrationJob] = []
+        loads = self.planned_load()
+        hosts = sorted(self.migrator.topology.hosts.values(),
+                       key=lambda h: h.name)
+        if not hosts:
+            return jobs
+        total = sum(loads.get(h.name, 0) for h in hosts)
+        ceiling = -(-total // len(hosts))  # ceil(mean)
+        for host in hosts:
+            scheduled: set[int] = set()
+            while loads.get(host.name, 0) > ceiling:
+                # Domains already submitted are still resident until their
+                # migration commits — skip them, don't re-pick them.
+                movable = [d for d in host.domains
+                           if d.domain_id not in scheduled]
+                if not movable:
+                    break
+                domain = min(movable, key=lambda d: d.domain_id)
+                candidates = [c for c in self._candidates(host)
+                              if loads.get(c.name, 0) < ceiling]
+                if not candidates:
+                    break
+                destination = policy(domain, candidates, loads)
+                scheduled.add(domain.domain_id)
+                loads[host.name] -= 1
+                loads[destination.name] = loads.get(destination.name, 0) + 1
+                jobs.append(self.submit(domain, destination, scheme=scheme))
+        self.env.tracer.instant("cluster:rebalance", category="cluster",
+                                jobs=len(jobs))
+        return jobs
+
+    # -- completion --------------------------------------------------------
+
+    def drain(self, jobs: Optional[list[MigrationJob]] = None):
+        """Run the simulation until the given jobs (default: all) finish.
+
+        Returns the jobs, with their reports/errors filled in.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        pending = [job.process for job in jobs
+                   if job.process is not None and not job.process.processed]
+        if pending:
+            self.env.run(until=self.env.all_of(pending))
+        return jobs
+
+    def makespan(self, jobs: Optional[list[MigrationJob]] = None) -> float:
+        """Wall-clock span from first submission to last completion."""
+        jobs = self.jobs if jobs is None else jobs
+        finished = [job for job in jobs if job.ended_at is not None]
+        if not finished:
+            return 0.0
+        return (max(job.ended_at for job in finished)
+                - min(job.submitted_at for job in finished))

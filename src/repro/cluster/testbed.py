@@ -1,0 +1,146 @@
+"""Cluster testbed builder: N hosts, M VMs each, a shared topology.
+
+Scales the paper's two-machine testbed sideways.  Three wirings:
+
+* ``"full"`` — every host pair gets a direct link (the degenerate case
+  where routing never multi-hops; matches the old Migrator behaviour);
+* ``"star"`` — one switch in the middle, every host one hop from it;
+  every migration crosses two links and everything contends at the
+  switch — the paper's actual LAN, scaled up;
+* ``"rack"`` — hosts grouped into racks, one top-of-rack switch per
+  rack, all ToR switches on a core switch: intra-rack migrations take
+  two hops, cross-rack four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..core.config import MigrationConfig
+from ..core.manager import Migrator
+from ..errors import ReproError
+from ..storage.disk import PhysicalDisk
+from ..storage.vbd import GenerationClock
+from ..units import Gbps, MiB
+from ..vm.domain import Domain
+from ..vm.host import Host
+from ..vm.memory import GuestMemory
+from .scheduler import ClusterScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+@dataclass
+class ClusterBed:
+    """A ready-to-run multi-host cluster experiment."""
+
+    env: "Environment"
+    hosts: list[Host]
+    migrator: Migrator
+    scheduler: ClusterScheduler
+    config: MigrationConfig
+    domains: list[Domain] = field(default_factory=list)
+
+    def host(self, name: str) -> Host:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise ReproError(f"no host named {name!r}")
+
+    def domains_on(self, host: Host) -> list[Domain]:
+        return sorted(host.domains, key=lambda d: d.domain_id)
+
+
+def build_cluster(
+    nhosts: int = 4,
+    vms_per_host: int = 2,
+    wiring: str = "star",
+    rack_size: int = 2,
+    nblocks: int = 2048,
+    npages: int = 256,
+    prefill: float = 1.0,
+    link_bandwidth: float = 1 * Gbps,
+    link_latency: float = 100e-6,
+    disk_read_bw: float = 60 * MiB,
+    disk_write_bw: float = 52 * MiB,
+    seek_time: float = 0.5e-3,
+    max_concurrent: int = 4,
+    per_link_limit: Optional[int] = None,
+    config: Optional[MigrationConfig] = None,
+    observe: bool = False,
+    env: Optional["Environment"] = None,
+) -> ClusterBed:
+    """Assemble an ``nhosts``-machine cluster with ``vms_per_host`` idle
+    VMs per host and a :class:`~repro.cluster.scheduler.ClusterScheduler`
+    on top.
+
+    All hosts share one generation clock (block stamps stay globally
+    unique, as in the two-machine testbed).  VMs are idle — the cluster
+    benchmarks measure orchestration behaviour (makespan, contention,
+    conservation), not workload interference, which the two-machine
+    experiments already cover.
+    """
+    if nhosts < 2:
+        raise ReproError(f"a cluster needs >= 2 hosts, got {nhosts}")
+    if vms_per_host < 0:
+        raise ReproError(f"vms_per_host cannot be negative: {vms_per_host}")
+    if not 0.0 <= prefill <= 1.0:
+        raise ReproError(f"prefill fraction must be in [0, 1], got {prefill}")
+    if env is None:
+        from ..sim import Environment
+
+        env = Environment()
+        if observe:
+            from ..obs import install
+
+            install(env)
+    cfg = config if config is not None else MigrationConfig()
+    clock = GenerationClock()
+    hosts = [Host(env, f"host{i:02d}",
+                  PhysicalDisk(env, disk_read_bw, disk_write_bw, seek_time),
+                  clock)
+             for i in range(nhosts)]
+    migrator = Migrator(env, cfg)
+
+    if wiring == "full":
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                migrator.connect(a, b, link_bandwidth, link_latency)
+    elif wiring == "star":
+        for host in hosts:
+            migrator.topology.connect(host, "switch", link_bandwidth,
+                                      link_latency)
+    elif wiring == "rack":
+        if rack_size < 1:
+            raise ReproError(f"rack_size must be >= 1, got {rack_size}")
+        for i, host in enumerate(hosts):
+            migrator.topology.connect(host, f"rack{i // rack_size}",
+                                      link_bandwidth, link_latency)
+        nracks = (nhosts + rack_size - 1) // rack_size
+        for r in range(nracks):
+            migrator.topology.connect(f"rack{r}", "core", link_bandwidth,
+                                      link_latency)
+    else:
+        raise ReproError(f"unknown wiring {wiring!r} "
+                         "(expected full, star, or rack)")
+
+    domains: list[Domain] = []
+    filled = int(nblocks * prefill)
+    for host in hosts:
+        for v in range(vms_per_host):
+            vbd = host.prepare_vbd(nblocks)
+            if filled:
+                vbd.write(0, filled)
+            domain = Domain(env, GuestMemory(npages, clock=clock),
+                            name=f"vm-{host.name}-{v}")
+            host.attach_domain(domain, vbd)
+            domains.append(domain)
+
+    scheduler = ClusterScheduler(env, migrator,
+                                 max_concurrent=max_concurrent,
+                                 per_link_limit=per_link_limit,
+                                 config=cfg)
+    return ClusterBed(env=env, hosts=hosts, migrator=migrator,
+                      scheduler=scheduler, config=cfg, domains=domains)

@@ -24,6 +24,8 @@ from .memcopy import MemoryPreCopier
 from .metrics import IterationStats, MigrationReport, PostCopyStats
 from .postcopy import PostCopySynchronizer
 from .precopy import DiskPreCopier, TRACKING_NAME
+from .scheme import (MigrationScheme, get_scheme, register_scheme,
+                     scheme_names)
 from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
 from .transfer import BlockStreamer, PageStreamer, StreamStats
 
@@ -36,8 +38,12 @@ __all__ = [
     "MigrationConfig",
     "MigrationReport",
     "MigrationRetrier",
+    "MigrationScheme",
     "Migrator",
     "PageStreamer",
+    "get_scheme",
+    "register_scheme",
+    "scheme_names",
     "PostCopyStats",
     "PostCopySynchronizer",
     "StreamStats",

@@ -26,6 +26,7 @@ from ..net.channel import Channel
 from ..net.compression import Compressor
 from ..net.link import DuplexLink
 from ..net.ratelimit import NullLimiter, TokenBucket
+from ..net.topology import Topology
 from ..storage.vbd import VirtualBlockDevice
 from ..units import Gbps
 from ..vm.domain import Domain
@@ -33,6 +34,7 @@ from ..vm.host import Host
 from .config import MigrationConfig
 from .metrics import MigrationReport
 from .precopy import TRACKING_NAME
+from .scheme import MigrationScheme, get_scheme
 from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,9 +52,10 @@ class Migrator:
         #: Enable the paper's future-work extension: IM back to *any*
         #: recently used host, not just the immediately previous one.
         self.multi_host_im = multi_host_im
-        #: (host_a.name, host_b.name) -> DuplexLink (forward = a->b).
-        self._links: dict[tuple[str, str], DuplexLink] = {}
-        self._hosts: dict[str, Host] = {}
+        #: The cluster network graph.  Hosts joined through switches get
+        #: multi-hop routes automatically; see :class:`~repro.net.topology.
+        #: Topology`.
+        self.topology = Topology(env)
         #: (domain_id, host_name) -> stale VBD left behind on that host.
         self._stale: dict[tuple[int, str], VirtualBlockDevice] = {}
         #: domain_id -> name of the host the domain most recently left
@@ -68,44 +71,72 @@ class Migrator:
         #: All reports produced, in order (failed attempts included).
         self.history: list[MigrationReport] = []
         #: domain_id -> in-flight migration (for :meth:`abort`).
-        self.active_migrations: dict[int, "ThreePhaseMigration"] = {}
+        self.active_migrations: dict[int, MigrationScheme] = {}
+        #: The most recently constructed migration object (any scheme);
+        #: gives experiments access to scheme-specific state (e.g. the
+        #: on-demand baseline's residual-dependency counters).
+        self.last_migration: Optional[MigrationScheme] = None
+        #: Every migration object ever constructed, in order — keeps the
+        #: per-channel byte ledgers reachable for cluster-level
+        #: conservation audits (see :mod:`repro.cluster.accounting`).
+        self.migrations: list[MigrationScheme] = []
 
     # -- topology ----------------------------------------------------------
 
+    @property
+    def _links(self) -> dict[tuple[str, str], DuplexLink]:
+        """Compat view of the topology's link table (fault injector)."""
+        return self.topology.links
+
+    @property
+    def _hosts(self) -> dict[str, Host]:
+        """Compat view of the topology's host table (fault injector)."""
+        return self.topology.hosts
+
     def connect(self, a: Host, b: Host, bandwidth: float = 1 * Gbps,
                 latency: float = 100e-6) -> DuplexLink:
-        """Join two hosts with a full-duplex link."""
-        self._hosts[a.name] = a
-        self._hosts[b.name] = b
-        link = DuplexLink(self.env, bandwidth, latency,
-                          name=f"{a.name}<->{b.name}")
-        self._links[(a.name, b.name)] = link
-        return link
+        """Join two hosts (or switches, by name) with a full-duplex link.
+
+        Reconnecting an already-connected pair returns the existing link
+        when the parameters match and raises on a conflict — it never
+        silently replaces a link carrying in-flight channels.
+        """
+        return self.topology.connect(a, b, bandwidth, latency)
 
     def link_between(self, src: Host, dst: Host) -> tuple:
-        """``(data_link, reverse_link)`` for a migration src → dst."""
-        link = self._links.get((src.name, dst.name))
-        if link is not None:
-            return link.forward, link.backward
-        link = self._links.get((dst.name, src.name))
-        if link is not None:
-            return link.backward, link.forward
-        raise MigrationError(
-            f"no link between {src.name!r} and {dst.name!r}")
+        """``(data_link, reverse_link)`` for a migration src → dst.
+
+        Directly connected hosts get the raw directional links; hosts
+        joined through switches get store-and-forward
+        :class:`~repro.net.topology.RoutedPath` objects.
+        """
+        return self.topology.endpoints(src, dst)
 
     # -- migration -------------------------------------------------------
 
     def migrate(self, domain: Domain, destination: Host,
                 config: Optional[MigrationConfig] = None,
-                workload_name: str = "unknown") -> Generator:
+                workload_name: str = "unknown",
+                scheme: str = "tpm",
+                scheme_kwargs: Optional[dict] = None) -> Generator:
         """Migrate ``domain`` to ``destination``; returns the report.
 
         ``yield from`` inside a process (or use :meth:`migrate_process`).
-        Automatically chooses incremental migration when the destination
-        still holds a stale copy of the domain's disk and the current host
-        has been tracking writes since the last migration.
+        ``scheme`` selects any registered migration scheme (``"tpm"``,
+        ``"freeze-and-copy"``, ``"on-demand"``, ``"delta-queue"``,
+        ``"shared-storage"`` or an alias); every scheme runs through the
+        same harness, so history recording, fault injection, retry, and
+        tracing behave identically across them.  ``scheme_kwargs`` is
+        passed to the scheme's constructor (e.g. ``throttle_watermark``
+        for the delta baseline).
+
+        With the default TPM scheme, incremental migration is chosen
+        automatically when the destination still holds a stale copy of
+        the domain's disk and the current host has been tracking writes
+        since the last migration.
         """
         cfg = config if config is not None else self.config
+        scheme_cls = get_scheme(scheme)
         source = domain.host
         if source is None:
             raise MigrationError(f"{domain} is not running on any host")
@@ -113,7 +144,8 @@ class Migrator:
             raise MigrationError("destination must differ from the source")
         if source.crashed or destination.crashed:
             victim = source.name if source.crashed else destination.name
-            report = MigrationReport(scheme="tpm", workload=workload_name)
+            report = MigrationReport(scheme=scheme_cls.name,
+                                     workload=workload_name)
             report.started_at = report.ended_at = self.env.now
             report.extra["failed"] = True
             report.extra["failure"] = f"host {victim!r} is down"
@@ -134,54 +166,61 @@ class Migrator:
         rev = Channel(self.env, rev_link,
                       name=f"mig:{destination.name}->{source.name}")
 
-        src_driver = source.driver_of(domain.domain_id)
-
-        # Retry of a failed migration? -- needs the surviving pre-copy
-        # tracking bitmap on the source AND the partial copy the failed
-        # attempt left at this destination.  The bitmap stays registered
-        # (adopted atomically by the pre-copier), so no write between the
-        # failure and here is ever missed.
-        resume = False
-        dest_vbd = None
+        kwargs = dict(scheme_kwargs) if scheme_kwargs else {}
         partial_key = (domain.domain_id, destination.name)
-        if src_driver.has_tracking(TRACKING_NAME):
-            partial = self._partial.pop(partial_key, None)
-            if partial is not None:
-                resume = True
-                dest_vbd = partial
-            else:
-                # The surviving bitmap describes a partial copy elsewhere;
-                # against this destination it is useless.  Start clean.
-                src_driver.stop_tracking(TRACKING_NAME)
-                self._drop_partials(domain.domain_id)
-
-        # Incremental? -- needs a stale copy at the destination AND a live
-        # divergence bitmap on the current host recording writes since the
-        # domain last left that destination.
-        divergence = self._collect_divergence(domain, src_driver)
-
-        initial_indices = None
         stale_key = (domain.domain_id, destination.name)
-        if (not resume and stale_key in self._stale
-                and destination.name in divergence):
-            dest_vbd = self._stale.pop(stale_key)
-            initial_indices = divergence.pop(
-                destination.name).dirty_indices()
-
-        # Multi-host IM: divergence maps against the *other* stale hosts
-        # keep tracking on the source through pre-copy (they are still
-        # registered there) and are re-registered on the destination by
-        # TPM before resume, so they never miss a write.
-        extra_im = ({f"{IM_TRACKING_NAME}:{host}": bitmap
-                     for host, bitmap in divergence.items()}
-                    if self.multi_host_im else {})
-
+        dest_vbd = None
         src_vbd = source.vbd_of(domain.domain_id)
-        migration = ThreePhaseMigration(
+        if scheme_cls.uses_im:
+            src_driver = source.driver_of(domain.domain_id)
+
+            # Retry of a failed migration? -- needs the surviving pre-copy
+            # tracking bitmap on the source AND the partial copy the failed
+            # attempt left at this destination.  The bitmap stays registered
+            # (adopted atomically by the pre-copier), so no write between
+            # the failure and here is ever missed.
+            resume = False
+            if src_driver.has_tracking(TRACKING_NAME):
+                partial = self._partial.pop(partial_key, None)
+                if partial is not None:
+                    resume = True
+                    dest_vbd = partial
+                else:
+                    # The surviving bitmap describes a partial copy
+                    # elsewhere; against this destination it is useless.
+                    # Start clean.
+                    src_driver.stop_tracking(TRACKING_NAME)
+                    self._drop_partials(domain.domain_id)
+
+            # Incremental? -- needs a stale copy at the destination AND a
+            # live divergence bitmap on the current host recording writes
+            # since the domain last left that destination.
+            divergence = self._collect_divergence(domain, src_driver)
+
+            initial_indices = None
+            if (not resume and stale_key in self._stale
+                    and destination.name in divergence):
+                dest_vbd = self._stale.pop(stale_key)
+                initial_indices = divergence.pop(
+                    destination.name).dirty_indices()
+
+            # Multi-host IM: divergence maps against the *other* stale
+            # hosts keep tracking on the source through pre-copy (they are
+            # still registered there) and are re-registered on the
+            # destination by TPM before resume, so they never miss a write.
+            extra_im = ({f"{IM_TRACKING_NAME}:{host}": bitmap
+                         for host, bitmap in divergence.items()}
+                        if self.multi_host_im else {})
+
+            kwargs.update(initial_indices=initial_indices,
+                          dest_vbd=dest_vbd, extra_im_bitmaps=extra_im,
+                          resume=resume)
+
+        migration = scheme_cls(
             self.env, domain, source, destination, fwd, rev, cfg,
-            initial_indices=initial_indices, dest_vbd=dest_vbd,
-            workload_name=workload_name, extra_im_bitmaps=extra_im,
-            resume=resume)
+            workload_name=workload_name, **kwargs)
+        self.last_migration = migration
+        self.migrations.append(migration)
         if self.fault_injector is not None:
             migration.phase_observers.append(self.fault_injector.on_phase)
         self.active_migrations[domain.domain_id] = migration
@@ -209,14 +248,23 @@ class Migrator:
         # earlier failed attempts of this domain.
         self._drop_partials(domain.domain_id)
 
-        # Bookkeeping for the next IM: the disk left on the old source is
-        # now a stale copy.  Without multi-host IM only it stays valid
-        # (paper: IM acts between the primary destination and the source).
-        if not self.multi_host_im:
+        if scheme_cls.uses_im:
+            # Bookkeeping for the next IM: the disk left on the old source
+            # is now a stale copy.  Without multi-host IM only it stays
+            # valid (paper: IM acts between the primary destination and the
+            # source).
+            if not self.multi_host_im:
+                self._stale = {key: vbd for key, vbd in self._stale.items()
+                               if key[0] != domain.domain_id}
+            self._stale[(domain.domain_id, source.name)] = src_vbd
+            self._im_source[domain.domain_id] = source.name
+        else:
+            # A non-IM scheme moved the domain without maintaining any
+            # divergence bitmaps: every remembered stale copy of this
+            # domain's disk is now unusable for incremental migration.
             self._stale = {key: vbd for key, vbd in self._stale.items()
                            if key[0] != domain.domain_id}
-        self._stale[(domain.domain_id, source.name)] = src_vbd
-        self._im_source[domain.domain_id] = source.name
+            self._im_source.pop(domain.domain_id, None)
 
         self.history.append(report)
         return report
@@ -269,10 +317,13 @@ class Migrator:
 
     def migrate_process(self, domain: Domain, destination: Host,
                         config: Optional[MigrationConfig] = None,
-                        workload_name: str = "unknown") -> "Process":
+                        workload_name: str = "unknown",
+                        scheme: str = "tpm",
+                        scheme_kwargs: Optional[dict] = None) -> "Process":
         """Spawn :meth:`migrate` as a process; run it with ``env.run``."""
         return self.env.process(
-            self.migrate(domain, destination, config, workload_name),
+            self.migrate(domain, destination, config, workload_name,
+                         scheme=scheme, scheme_kwargs=scheme_kwargs),
             name=f"migrate:{domain.name}->{destination.name}")
 
     def has_stale_copy(self, domain: Domain, host: Host) -> bool:
@@ -314,13 +365,18 @@ class MigrationRetrier:
 
     def migrate(self, domain: Domain, destination: Host,
                 config: Optional[MigrationConfig] = None,
-                workload_name: str = "unknown") -> Generator:
+                workload_name: str = "unknown",
+                scheme: str = "tpm",
+                scheme_kwargs: Optional[dict] = None) -> Generator:
         """Migrate with retries; returns the final attempt's report.
 
-        ``yield from`` inside a process.  The report carries the retry
-        accounting: ``attempts``, ``failed_attempts``, ``backoff_time``.
-        Raises :class:`~repro.errors.MigrationFailed` once
-        ``max_attempts`` attempts have all died.
+        ``yield from`` inside a process.  Any registered ``scheme`` may
+        be retried, though only IM-aware schemes (TPM) resume
+        incrementally — the others restart from scratch each attempt.
+        The report carries the retry accounting: ``attempts``,
+        ``failed_attempts``, ``backoff_time``.  Raises
+        :class:`~repro.errors.MigrationFailed` once ``max_attempts``
+        attempts have all died.
         """
         failures: list[MigrationReport] = []
         backoff_total = 0.0
@@ -329,7 +385,8 @@ class MigrationRetrier:
             self.env.metrics.counter("retry.attempts").inc()
             try:
                 report = yield from self.migrator.migrate(
-                    domain, destination, config, workload_name)
+                    domain, destination, config, workload_name,
+                    scheme=scheme, scheme_kwargs=scheme_kwargs)
             except MigrationFailed as failure:
                 if failure.report is not None:
                     failures.append(failure.report)
@@ -358,8 +415,11 @@ class MigrationRetrier:
 
     def migrate_process(self, domain: Domain, destination: Host,
                         config: Optional[MigrationConfig] = None,
-                        workload_name: str = "unknown") -> "Process":
+                        workload_name: str = "unknown",
+                        scheme: str = "tpm",
+                        scheme_kwargs: Optional[dict] = None) -> "Process":
         """Spawn :meth:`migrate` as a process; run it with ``env.run``."""
         return self.env.process(
-            self.migrate(domain, destination, config, workload_name),
+            self.migrate(domain, destination, config, workload_name,
+                         scheme=scheme, scheme_kwargs=scheme_kwargs),
             name=f"retry-migrate:{domain.name}->{destination.name}")

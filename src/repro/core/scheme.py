@@ -1,0 +1,272 @@
+"""Unified migration-scheme framework and scheme registry.
+
+Every migration scheme — the paper's Three-Phase Migration and the four
+§II baselines it is compared against — shares the same scaffolding: a
+(fwd, rev) channel pair, a :class:`~repro.core.metrics.MigrationReport`
+lifecycle, phase notifications (consumed by the fault injector), a
+per-category byte ledger, tracer integration, and a failure path that
+stamps the report and raises :class:`~repro.errors.MigrationFailed`.
+:class:`MigrationScheme` extracts that scaffolding so each scheme only
+implements :meth:`MigrationScheme._execute` with its own protocol, and so
+the comparative experiments (§VI) run every scheme through the *same*
+harness — history recording, retry, fault injection, and tracing come for
+free rather than being hand-rolled (or silently missing) per scheme.
+
+Schemes register themselves with :func:`register_scheme`;
+:meth:`Migrator.migrate(..., scheme="delta-queue")
+<repro.core.manager.Migrator.migrate>` resolves the name through
+:func:`get_scheme` and runs any of them through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import MigrationError, MigrationFailed, NetworkError
+from ..net.channel import Channel
+from ..storage.vbd import VirtualBlockDevice
+from ..vm.domain import Domain
+from ..vm.host import Host
+from .config import MigrationConfig
+from .metrics import MigrationReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+#: Scheme name -> scheme class.  Aliases map to the same class.
+SCHEME_REGISTRY: dict[str, type] = {}
+
+
+def register_scheme(cls: type) -> type:
+    """Class decorator: add ``cls`` to the scheme registry by its name
+    (and any :attr:`MigrationScheme.aliases`)."""
+    if not getattr(cls, "name", None):
+        raise MigrationError(f"{cls.__name__} has no scheme name")
+    for key in (cls.name, *getattr(cls, "aliases", ())):
+        existing = SCHEME_REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise MigrationError(
+                f"scheme name {key!r} already registered to "
+                f"{existing.__name__}")
+        SCHEME_REGISTRY[key] = cls
+    return cls
+
+
+def _load_builtin_schemes() -> None:
+    """Import the modules that register the built-in schemes."""
+    from .. import baselines  # noqa: F401  (registers the four baselines)
+    from . import tpm  # noqa: F401  (registers "tpm")
+
+
+def get_scheme(name: str) -> type:
+    """Resolve a registered scheme class by name or alias."""
+    _load_builtin_schemes()
+    try:
+        return SCHEME_REGISTRY[name]
+    except KeyError:
+        raise MigrationError(
+            f"unknown migration scheme {name!r}; registered: "
+            f"{', '.join(scheme_names())}") from None
+
+
+def scheme_names(aliases: bool = False) -> tuple[str, ...]:
+    """Canonical names of all registered schemes (sorted).
+
+    ``aliases=True`` includes every alias as well.
+    """
+    _load_builtin_schemes()
+    if aliases:
+        return tuple(sorted(SCHEME_REGISTRY))
+    return tuple(sorted({cls.name for cls in SCHEME_REGISTRY.values()}))
+
+
+class MigrationScheme:
+    """Base class for one whole-system migration, source → destination.
+
+    Subclasses implement :meth:`_execute` (a simulation generator) and may
+    override the hook methods (:meth:`_span_attrs`, :meth:`_end_attrs`,
+    :meth:`_on_failure`).  The template :meth:`run`:
+
+    1. stamps ``report.started_at`` and opens the ``migration:<name>``
+       tracer span,
+    2. validates that the domain runs on the source host,
+    3. snapshots the byte ledger across :attr:`channels`,
+    4. runs :meth:`_execute`, converting any
+       :class:`~repro.errors.NetworkError` into a stamped
+       :class:`~repro.errors.MigrationFailed` (the guest, if still on the
+       source, is resumed — it "keeps running untouched" per §V),
+    5. fills ``report.bytes_by_category`` from the ledger delta and closes
+       the migration span.
+    """
+
+    #: Registry key; also stamped on every report this scheme produces.
+    name: str = ""
+    #: Extra registry keys resolving to this scheme.
+    aliases: tuple[str, ...] = ()
+    #: True when the scheme honours :meth:`request_abort` before commit.
+    supports_abort: bool = False
+    #: True when the scheme participates in the Migrator's Incremental
+    #: Migration bookkeeping (stale copies, divergence bitmaps, partial
+    #: copies from failed attempts).
+    uses_im: bool = False
+
+    def __init__(
+        self,
+        env: "Environment",
+        domain: Domain,
+        source: Host,
+        destination: Host,
+        fwd_channel: Channel,
+        rev_channel: Channel,
+        config: Optional[MigrationConfig] = None,
+        workload_name: str = "unknown",
+    ) -> None:
+        self.env = env
+        self.domain = domain
+        self.source = source
+        self.destination = destination
+        self.fwd = fwd_channel
+        self.rev = rev_channel
+        self.config = config if config is not None else MigrationConfig()
+        self.workload_name = workload_name
+        #: Additional channels the scheme opened (e.g. the delta baseline's
+        #: delta stream); included in the byte ledger.
+        self.extra_channels: list[Channel] = []
+        #: Callables invoked as ``observer(phase_name)`` when the migration
+        #: enters a phase — used by the fault injector for phase-triggered
+        #: faults.  Empty by default; notifying costs nothing then.
+        self.phase_observers: list = []
+        self._phase = "init"
+        self._abort_requested = False
+        self._committed = False
+        self._mig_span = None
+        self._ledger_before: dict[str, int] = {}
+        self.report = MigrationReport(scheme=type(self).name,
+                                      workload=workload_name)
+
+    # -- phases / abort ----------------------------------------------------
+
+    def _notify_phase(self, name: str) -> None:
+        self._phase = name
+        for observer in self.phase_observers:
+            observer(name)
+
+    def request_abort(self) -> bool:
+        """Cancel the migration at the next safe point.
+
+        Only schemes with :attr:`supports_abort` honour this, and only
+        before their commit point (once the VM is about to move the
+        migration can no longer be cancelled).  Returns True if the
+        request can still take effect.
+        """
+        if not self.supports_abort or self._committed:
+            return False
+        self._abort_requested = True
+        return True
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self.report.extra.get("aborted"))
+
+    # -- byte ledger -------------------------------------------------------
+
+    @property
+    def channels(self) -> list[Channel]:
+        """Every channel whose bytes this migration is accountable for."""
+        return [self.fwd, self.rev, *self.extra_channels]
+
+    def _ledger_snapshot(self) -> dict[str, int]:
+        snap: dict[str, int] = {}
+        for chan in self.channels:
+            for key, val in chan.bytes_by_category.items():
+                snap[key] = snap.get(key, 0) + val
+        return snap
+
+    def _ledger_delta(self, before: dict[str, int]) -> dict[str, int]:
+        after = self._ledger_snapshot()
+        return {k: after[k] - before.get(k, 0) for k in after
+                if after[k] - before.get(k, 0) > 0}
+
+    # -- template ----------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Execute the migration; returns a :class:`MigrationReport`.
+
+        ``yield from`` inside a process, or wrap with ``env.process``.
+        """
+        env = self.env
+        report = self.report
+        tracer = env.tracer
+        report.started_at = env.now
+        self._mig_span = tracer.begin(
+            f"migration:{self.domain.name}", category="migration",
+            scheme=report.scheme, workload=self.workload_name,
+            **self._span_attrs())
+        if self.domain.host is not self.source:
+            tracer.end(self._mig_span, error="domain not on source")
+            raise MigrationError(
+                f"{self.domain} is on "
+                f"{self.domain.host and self.domain.host.name}, "
+                f"not on source {self.source.name}")
+        self._ledger_before = self._ledger_snapshot()
+        try:
+            yield from self._execute()
+        except NetworkError as exc:
+            raise self._fail(exc) from exc
+        if not report.bytes_by_category:
+            report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        tracer.end(self._mig_span, **self._end_attrs())
+        return report
+
+    def _execute(self) -> Generator:
+        """The scheme's protocol; implemented by subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type parity
+
+    # -- hooks -------------------------------------------------------------
+
+    def _span_attrs(self) -> dict:
+        """Extra args for the opening ``migration:*`` span."""
+        return {}
+
+    def _end_attrs(self) -> dict:
+        """Args stamped on the ``migration:*`` span when it closes."""
+        return dict(total_migration_time=self.report.total_migration_time,
+                    downtime=self.report.downtime)
+
+    def _on_failure(self, exc: NetworkError) -> Optional[VirtualBlockDevice]:
+        """Scheme-specific failure bookkeeping (tear down interceptors,
+        absorb unconfirmed transfers, ...).  Returns the destination VBD to
+        carry on the :class:`~repro.errors.MigrationFailed` when a partial
+        copy is worth keeping for an incremental retry, else None."""
+        return None
+
+    def _failure_attrs(self) -> dict:
+        """Extra args for the ``migration:failed`` instant."""
+        return {}
+
+    def _fail(self, exc: NetworkError) -> MigrationFailed:
+        """Stamp the report for a mid-flight death and build the exception.
+
+        The guest — when it never left the source — resumes there untouched
+        (the paper's §V failure story: "the user can resume the virtual
+        machine on the source machine and retry later").
+        """
+        report = self.report
+        keep_vbd = self._on_failure(exc)
+        if self.domain.memory.logging:
+            self.domain.memory.stop_logging()
+        if (self.domain.host is self.source and not self.domain.running):
+            self.domain.resume()
+        report.extra["failed"] = True
+        report.extra["failure"] = str(exc)
+        report.extra["failed_phase"] = self._phase
+        report.ended_at = self.env.now
+        report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        self.env.tracer.instant("migration:failed", category="migration",
+                                phase=self._phase, failure=str(exc),
+                                **self._failure_attrs())
+        self.env.tracer.close_open(failed=True)
+        return MigrationFailed(
+            f"migration of {self.domain} failed during {self._phase}: {exc}",
+            report=report, dest_vbd=keep_vbd)

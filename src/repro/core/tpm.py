@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from ..bitmap import make_bitmap
-from ..errors import MigrationError, MigrationFailed, NetworkError
+from ..errors import MigrationError
 from ..net.channel import Channel
 from ..net.messages import BitmapMsg, ControlMsg, CPUStateMsg
 from ..storage.vbd import VirtualBlockDevice
@@ -34,9 +34,9 @@ from ..vm.host import Host
 from ..vm.memory import GuestMemory
 from .config import MigrationConfig
 from .memcopy import MemoryPreCopier
-from .metrics import MigrationReport
 from .postcopy import PostCopySynchronizer
 from .precopy import TRACKING_NAME, DiskPreCopier
+from .scheme import MigrationScheme, register_scheme
 from .transfer import BlockStreamer, PageStreamer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,8 +47,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 IM_TRACKING_NAME = "im"
 
 
-class ThreePhaseMigration:
+@register_scheme
+class ThreePhaseMigration(MigrationScheme):
     """One whole-system live migration, source → destination."""
+
+    name = "tpm"
+    supports_abort = True
+    uses_im = True
 
     def __init__(
         self,
@@ -65,18 +70,12 @@ class ThreePhaseMigration:
         extra_im_bitmaps: Optional[dict] = None,
         resume: bool = False,
     ) -> None:
-        self.env = env
-        self.domain = domain
-        self.source = source
-        self.destination = destination
-        self.fwd = fwd_channel
-        self.rev = rev_channel
-        self.config = config if config is not None else MigrationConfig()
+        super().__init__(env, domain, source, destination, fwd_channel,
+                         rev_channel, config, workload_name)
         #: IM: blocks the first iteration must transfer (None = all).
         self.initial_indices = initial_indices
         #: IM: reuse this stale VBD on the destination (None = fresh one).
         self.dest_vbd = dest_vbd
-        self.workload_name = workload_name
         #: Multi-host IM (the paper's future work, via Migrator): divergence
         #: bitmaps against *other* stale hosts, re-registered on the
         #: destination driver before resume so no post-resume write is
@@ -87,149 +86,115 @@ class ThreePhaseMigration:
         #: the surviving ``"precopy"`` bitmap instead of registering a
         #: fresh one and copying the whole device.
         self.resume = resume
-        self._abort_requested = False
-        self._committed = False
-        #: Callables invoked as ``observer(phase_name)`` when the migration
-        #: enters a phase — used by the fault injector for phase-triggered
-        #: faults.  Empty by default; notifying costs nothing then.
-        self.phase_observers: list = []
-        self._phase = "init"
         self._block_streamer: Optional[BlockStreamer] = None
-        self.report = MigrationReport(
-            scheme="tpm",
-            workload=workload_name,
-            incremental=initial_indices is not None,
-        )
+        self._src_driver = None
+        #: Destination VBD of the in-flight attempt (for the failure path).
+        self._dest_vbd_inflight: Optional[VirtualBlockDevice] = None
+        self.report.incremental = initial_indices is not None
 
-    def _notify_phase(self, name: str) -> None:
-        self._phase = name
-        for observer in self.phase_observers:
-            observer(name)
+    # -- template hooks ----------------------------------------------------
 
-    def request_abort(self) -> bool:
-        """Cancel the migration at the next safe point.
+    def _span_attrs(self) -> dict:
+        return dict(incremental=self.report.incremental, resume=self.resume)
 
-        Cancellation is honoured only during pre-copy: once freeze-and-copy
-        begins the migration is committed (the VM is about to move).
-        Returns True if the request can still take effect.
-        """
-        if self._committed:
-            return False
-        self._abort_requested = True
-        return True
-
-    @property
-    def aborted(self) -> bool:
-        return bool(self.report.extra.get("aborted"))
+    def _end_attrs(self) -> dict:
+        return dict(total_migration_time=self.report.total_migration_time,
+                    downtime=self.report.downtime,
+                    migrated_bytes=self.report.migrated_bytes)
 
     # ------------------------------------------------------------------
 
-    def run(self) -> Generator:
-        """Execute the migration; returns a :class:`MigrationReport`.
-
-        ``yield from`` inside a process, or wrap with ``env.process``.
-        """
+    def _execute(self) -> Generator:
         env = self.env
         domain = self.domain
         cfg = self.config
         report = self.report
         tracer = env.tracer
-        report.started_at = env.now
-        mig_span = tracer.begin(
-            f"migration:{domain.name}", category="migration",
-            scheme=report.scheme, workload=self.workload_name,
-            incremental=report.incremental, resume=self.resume)
 
-        if domain.host is not self.source:
-            tracer.end(mig_span, error="domain not on source")
-            raise MigrationError(
-                f"{domain} is on {domain.host and domain.host.name}, "
-                f"not on source {self.source.name}")
-
-        ledger_before = self._ledger_before = self._ledger_snapshot()
         src_vbd = self.source.vbd_of(domain.domain_id)
-        src_driver = self.source.driver_of(domain.domain_id)
+        src_driver = self._src_driver = self.source.driver_of(
+            domain.domain_id)
         dest_vbd: Optional[VirtualBlockDevice] = None
         self._notify_phase("init")
         init_span = tracer.begin("phase:init", category="phase")
 
         # A network failure anywhere before the commit point tears the
         # migration down with the guest untouched on the source; the
-        # write-tracking bitmap is *kept* so a retry can be incremental.
-        try:
-            # -- initialisation: ask the destination to prepare a VBD ------
-            yield from self.fwd.send(ControlMsg("prepare-vbd"),
-                                     category="control", limited=False)
-            yield self.fwd.recv()  # destination consumes the request
-            if self.dest_vbd is None:
-                dest_vbd = self.destination.prepare_vbd(
-                    src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
-            else:
-                dest_vbd = self.dest_vbd
-                if (dest_vbd.nblocks, dest_vbd.block_size) != (
-                        src_vbd.nblocks, src_vbd.block_size):
-                    raise MigrationError(
-                        "stale destination VBD geometry does not match source")
-            yield from self.rev.send(ControlMsg("vbd-ready"),
-                                     category="control", limited=False)
-            yield self.rev.recv()  # source consumes the acknowledgement
+        # write-tracking bitmap is *kept* so a retry can be incremental
+        # (the base class converts it into a stamped MigrationFailed).
 
-            # -- phase 1a: iterative disk pre-copy ------------------------
-            self._notify_phase("precopy-disk")
-            tracer.end(init_span)
-            disk_span = tracer.begin("phase:precopy-disk", category="phase")
-            report.precopy_disk_started_at = env.now
-            block_streamer = BlockStreamer(
-                env, self.source.disk, src_vbd, self.destination.disk,
-                dest_vbd, self.fwd, cfg)
-            self._block_streamer = block_streamer
-            initial_indices = self.initial_indices
-            if (initial_indices is None and cfg.guest_aware
-                    and self.dest_vbd is None and not self.resume):
-                # Guest-aware first iteration (§VII): never-written blocks
-                # are all-zero on the source and on the fresh destination
-                # VBD alike, so only the allocated set needs to cross the
-                # wire.  Only valid against a *fresh* destination — a stale
-                # IM copy may hold old data in blocks that look unallocated
-                # here.
-                initial_indices = src_vbd.allocated_indices()
-                report.extra["guest_aware_skipped_blocks"] = int(
-                    src_vbd.nblocks - initial_indices.size)
-            precopier = DiskPreCopier(
-                env, src_driver, block_streamer, cfg,
-                initial_indices=initial_indices,
-                abort_requested=lambda: self._abort_requested,
-                resume=self.resume)
-            report.disk_iterations = yield from precopier.run()
-            report.precopy_disk_ended_at = env.now
-            tracer.end(disk_span,
-                       iterations=len(report.disk_iterations),
-                       retransferred_blocks=report.retransferred_blocks)
-            if self._abort_requested:
-                return (yield from self._abort(src_driver,
-                                               memory_logging=False))
+        # -- initialisation: ask the destination to prepare a VBD ------
+        yield from self.fwd.send(ControlMsg("prepare-vbd"),
+                                 category="control", limited=False)
+        yield self.fwd.recv()  # destination consumes the request
+        if self.dest_vbd is None:
+            dest_vbd = self.destination.prepare_vbd(
+                src_vbd.nblocks, src_vbd.block_size, data=src_vbd.has_data)
+        else:
+            dest_vbd = self.dest_vbd
+            if (dest_vbd.nblocks, dest_vbd.block_size) != (
+                    src_vbd.nblocks, src_vbd.block_size):
+                raise MigrationError(
+                    "stale destination VBD geometry does not match source")
+        self._dest_vbd_inflight = dest_vbd
+        yield from self.rev.send(ControlMsg("vbd-ready"),
+                                 category="control", limited=False)
+        yield self.rev.recv()  # source consumes the acknowledgement
 
-            # -- phase 1b: iterative memory pre-copy ----------------------
-            self._notify_phase("precopy-mem")
-            shadow_memory: Optional[GuestMemory] = None
-            mem_span = tracer.begin("phase:precopy-mem", category="phase")
-            report.precopy_mem_started_at = env.now
-            if cfg.include_memory:
-                shadow_memory = GuestMemory(domain.memory.npages,
-                                            domain.memory.page_size,
-                                            clock=domain.memory.clock)
-                page_streamer = PageStreamer(env, domain.memory,
-                                             shadow_memory, self.fwd, cfg)
-                memcopier = MemoryPreCopier(env, domain.memory, page_streamer,
-                                            cfg)
-                report.mem_rounds = yield from memcopier.run()
-            report.precopy_mem_ended_at = env.now
-            tracer.end(mem_span, rounds=len(report.mem_rounds))
-            if self._abort_requested:
-                return (yield from self._abort(
-                    src_driver, memory_logging=cfg.include_memory))
-        except NetworkError as exc:
-            raise self._fail(exc, src_driver, dest_vbd) from exc
+        # -- phase 1a: iterative disk pre-copy ------------------------
+        self._notify_phase("precopy-disk")
+        tracer.end(init_span)
+        disk_span = tracer.begin("phase:precopy-disk", category="phase")
+        report.precopy_disk_started_at = env.now
+        block_streamer = BlockStreamer(
+            env, self.source.disk, src_vbd, self.destination.disk,
+            dest_vbd, self.fwd, cfg)
+        self._block_streamer = block_streamer
+        initial_indices = self.initial_indices
+        if (initial_indices is None and cfg.guest_aware
+                and self.dest_vbd is None and not self.resume):
+            # Guest-aware first iteration (§VII): never-written blocks
+            # are all-zero on the source and on the fresh destination
+            # VBD alike, so only the allocated set needs to cross the
+            # wire.  Only valid against a *fresh* destination — a stale
+            # IM copy may hold old data in blocks that look unallocated
+            # here.
+            initial_indices = src_vbd.allocated_indices()
+            report.extra["guest_aware_skipped_blocks"] = int(
+                src_vbd.nblocks - initial_indices.size)
+        precopier = DiskPreCopier(
+            env, src_driver, block_streamer, cfg,
+            initial_indices=initial_indices,
+            abort_requested=lambda: self._abort_requested,
+            resume=self.resume)
+        report.disk_iterations = yield from precopier.run()
+        report.precopy_disk_ended_at = env.now
+        tracer.end(disk_span,
+                   iterations=len(report.disk_iterations),
+                   retransferred_blocks=report.retransferred_blocks)
+        if self._abort_requested:
+            return (yield from self._abort(src_driver,
+                                           memory_logging=False))
+
+        # -- phase 1b: iterative memory pre-copy ----------------------
+        self._notify_phase("precopy-mem")
+        shadow_memory: Optional[GuestMemory] = None
+        mem_span = tracer.begin("phase:precopy-mem", category="phase")
+        report.precopy_mem_started_at = env.now
+        if cfg.include_memory:
+            shadow_memory = GuestMemory(domain.memory.npages,
+                                        domain.memory.page_size,
+                                        clock=domain.memory.clock)
+            page_streamer = PageStreamer(env, domain.memory,
+                                         shadow_memory, self.fwd, cfg)
+            memcopier = MemoryPreCopier(env, domain.memory, page_streamer,
+                                        cfg)
+            report.mem_rounds = yield from memcopier.run()
+        report.precopy_mem_ended_at = env.now
+        tracer.end(mem_span, rounds=len(report.mem_rounds))
+        if self._abort_requested:
+            return (yield from self._abort(
+                src_driver, memory_logging=cfg.include_memory))
 
         # -- phase 2: freeze-and-copy -------------------------------------
         self._committed = True
@@ -339,7 +304,7 @@ class ThreePhaseMigration:
                    stalled_reads=report.postcopy.stalled_reads)
 
         # -- wire accounting & verification --------------------------------
-        report.bytes_by_category = self._ledger_delta(ledger_before)
+        report.bytes_by_category = self._ledger_delta(self._ledger_before)
         if cfg.verify_consistency:
             verify_span = tracer.begin("phase:verify", category="phase")
             # A guest write may have cancelled a transfer (clearing BM_2,
@@ -367,10 +332,6 @@ class ThreePhaseMigration:
                 yield env.timeout(cfg.verify_retry_interval)
             report.consistency_verified = True
             tracer.end(verify_span, verified=True)
-        tracer.end(mig_span,
-                   total_migration_time=report.total_migration_time,
-                   downtime=report.downtime,
-                   migrated_bytes=report.migrated_bytes)
         return report
 
     # ------------------------------------------------------------------
@@ -397,9 +358,8 @@ class ThreePhaseMigration:
         self.env.tracer.close_open(aborted=True)
         return report
 
-    def _fail(self, exc: NetworkError, src_driver,
-              dest_vbd: Optional[VirtualBlockDevice]) -> MigrationFailed:
-        """Stamp the report for a mid-flight death and build the exception.
+    def _on_failure(self, exc) -> Optional[VirtualBlockDevice]:
+        """Failure bookkeeping on top of the base-class path.
 
         The guest keeps running on the source untouched.  Crucially the
         ``"precopy"`` tracking bitmap is **left registered**: it absorbs
@@ -407,43 +367,23 @@ class ThreePhaseMigration:
         plus every write during the retry backoff, so the next attempt is
         an incremental migration over exactly the out-of-date set.
         """
-        report = self.report
         surviving = 0
         keep_vbd = None
-        if src_driver.has_tracking(TRACKING_NAME):
-            bitmap = src_driver.tracking_bitmap(TRACKING_NAME)
+        if (self._src_driver is not None
+                and self._src_driver.has_tracking(TRACKING_NAME)):
+            bitmap = self._src_driver.tracking_bitmap(TRACKING_NAME)
             if self._block_streamer is not None:
                 pending = self._block_streamer.unconfirmed_indices()
                 if pending.size:
                     bitmap.set_many(pending)
             surviving = bitmap.count()
-            keep_vbd = dest_vbd
-        if self.domain.memory.logging:
-            self.domain.memory.stop_logging()
-        report.extra["failed"] = True
-        report.extra["failure"] = str(exc)
-        report.extra["failed_phase"] = self._phase
-        report.extra["surviving_dirty_blocks"] = int(surviving)
-        report.ended_at = self.env.now
-        report.bytes_by_category = self._ledger_delta(self._ledger_before)
-        self.env.tracer.instant("migration:failed", category="migration",
-                                phase=self._phase, failure=str(exc),
-                                surviving_dirty_blocks=int(surviving))
-        self.env.tracer.close_open(failed=True)
-        return MigrationFailed(
-            f"migration of {self.domain} failed during {self._phase}: {exc}",
-            report=report, dest_vbd=keep_vbd)
+            keep_vbd = self._dest_vbd_inflight
+        self.report.extra["surviving_dirty_blocks"] = int(surviving)
+        return keep_vbd
 
-    def _ledger_snapshot(self) -> dict[str, int]:
-        snap = dict(self.fwd.bytes_by_category)
-        for key, val in self.rev.bytes_by_category.items():
-            snap[key] = snap.get(key, 0) + val
-        return snap
-
-    def _ledger_delta(self, before: dict[str, int]) -> dict[str, int]:
-        after = self._ledger_snapshot()
-        return {k: after[k] - before.get(k, 0) for k in after
-                if after[k] - before.get(k, 0) > 0}
+    def _failure_attrs(self) -> dict:
+        return dict(surviving_dirty_blocks=self.report.extra.get(
+            "surviving_dirty_blocks", 0))
 
     def _unexplained_diff(self, src_vbd: VirtualBlockDevice,
                           dest_vbd: VirtualBlockDevice, dst_driver):
