@@ -1,0 +1,7 @@
+"""Wall-clock performance suite for the simulator itself.
+
+Unlike the ``bench_*`` modules (which measure *simulated* quantities —
+downtime, migrated bytes, makespan), this package measures how fast the
+simulator chews through events on the host machine.  Results accumulate
+in ``BENCH_PERF.json`` at the repo root; see ``docs/PERFORMANCE.md``.
+"""

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Run the wall-clock perf suite and maintain ``BENCH_PERF.json``.
+
+Modes::
+
+    python benchmarks/perf/run.py                       # measure + print
+    python benchmarks/perf/run.py --record optimized    # + write to JSON
+    python benchmarks/perf/run.py --smoke --check       # CI regression gate
+
+``BENCH_PERF.json`` (repo root) keeps one section per label
+(``baseline`` = pre-overhaul engine, ``optimized`` = current code), each
+with ``full`` and ``smoke`` geometry results, so the perf trajectory of
+the repo is tracked in-tree from this PR forward.
+
+``--check`` compares the measured events/sec of every scenario against
+the committed ``optimized`` section (same geometry) and exits non-zero on
+a regression beyond ``--tolerance`` (default 25%).  Wall-clock numbers
+are machine-dependent; the events/sec ratio against the committed
+reference is still the best cheap tripwire for "someone re-introduced an
+O(n) scan into the event loop".  Set ``REPRO_PERF_NO_FAIL=1`` to demote
+check failures to warnings (e.g. on known-slow shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from scenarios import SCENARIOS  # noqa: E402
+
+DEFAULT_JSON = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_PERF.json")
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.25
+
+
+def run_suite(smoke: bool, repeat: int, only=None) -> dict:
+    """Best-of-``repeat`` wall-clock for every scenario."""
+    results = {}
+    for name, fn in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        best = None
+        for _ in range(repeat):
+            res = fn(smoke=smoke)
+            if best is None or res["wall_s"] < best["wall_s"]:
+                best = res
+        best["repeats"] = repeat
+        results[name] = best
+        print(f"  {name:>14}: {best['wall_s']*1e3:9.1f} ms  "
+              f"{best['events']:>9} events  "
+              f"{best['events_per_sec']/1e3:8.1f}k ev/s", flush=True)
+    return results
+
+
+def load_record(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {"schema": SCHEMA, "machine": {}, }
+
+
+def save_record(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def check(results: dict, record: dict, mode: str, tolerance: float) -> int:
+    """Fail on events/sec regression beyond tolerance vs committed ref."""
+    reference = (record.get("optimized") or record.get("baseline") or {})
+    reference = reference.get(mode, {})
+    if not reference:
+        print(f"check: no committed reference for mode {mode!r}; skipping")
+        return 0
+    failures = []
+    for name, res in results.items():
+        ref = reference.get(name)
+        if ref is None:
+            continue
+        ratio = res["events_per_sec"] / ref["events_per_sec"]
+        verdict = "ok" if ratio >= 1 - tolerance else "REGRESSION"
+        print(f"  check {name:>14}: {ratio:6.2f}x of committed "
+              f"{ref['events_per_sec']/1e3:.1f}k ev/s  [{verdict}]")
+        if ratio < 1 - tolerance:
+            failures.append(name)
+    if failures:
+        msg = (f"events/sec regressed >"
+               f"{tolerance:.0%} on: {', '.join(failures)}")
+        if os.environ.get("REPRO_PERF_NO_FAIL"):
+            print(f"WARNING (not failing, REPRO_PERF_NO_FAIL set): {msg}")
+            return 0
+        print(f"FAIL: {msg}")
+        return 1
+    print("check: all scenarios within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized geometry (seconds)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of-N wall clock (default: 3)")
+    parser.add_argument("--only", action="append",
+                        choices=sorted(SCENARIOS),
+                        help="run a subset of scenarios")
+    parser.add_argument("--record", metavar="LABEL",
+                        help="store results under this label "
+                             "(e.g. baseline, optimized) in the JSON file")
+    parser.add_argument("--json", default=DEFAULT_JSON,
+                        help="record file (default: BENCH_PERF.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed reference; exit "
+                             "non-zero on regression")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed events/sec drop (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"perf suite ({mode}, best of {args.repeat}):")
+    start = perf_counter()
+    results = run_suite(args.smoke, args.repeat, only=args.only)
+    print(f"suite wall time: {perf_counter() - start:.1f}s")
+
+    status = 0
+    record = load_record(args.json)
+    if args.check:
+        status = check(results, record, mode, args.tolerance)
+    if args.record:
+        record.setdefault("machine", {}).update(
+            python=platform.python_version(), platform=platform.platform())
+        record.setdefault(args.record, {})[mode] = results
+        save_record(args.json, record)
+        print(f"recorded {mode} results as {args.record!r} in {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""The three wall-clock scenarios tracked in ``BENCH_PERF.json``.
+
+Each scenario returns a plain dict with at least ``wall_s`` (host
+seconds), ``events`` (engine events processed) and ``events_per_sec``.
+All scenarios are deterministic in *simulated* behaviour; only the wall
+clock varies run to run, which is why the runner takes best-of-N.
+
+* ``engine`` — a synthetic event-loop microbench: timeout ping-pong plus
+  contended :class:`~repro.sim.Resource` cycling, no migration machinery.
+  Isolates the heap/callback/process-driver cost.
+* ``table1_tpm`` — the paper's Table I specweb TPM migration (scaled),
+  i.e. the repo's bread-and-butter single-migration path.
+* ``evacuate_32vm`` — a 32-VM host evacuation through the cluster
+  scheduler: the ROADMAP-scale stress case that motivated the hot-path
+  overhaul.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "src"))
+
+
+def _result(wall: float, events: int, sim_time: float, **extra) -> dict:
+    out = dict(wall_s=wall, events=events,
+               events_per_sec=events / wall if wall > 0 else 0.0,
+               sim_time=sim_time)
+    out.update(extra)
+    return out
+
+
+def engine(smoke: bool = False) -> dict:
+    """Pure event-engine throughput: no disks, no bitmaps, no migration."""
+    from repro.sim import Environment
+    from repro.sim.resources import Resource
+
+    nprocs = 50
+    horizon = 2.0 if smoke else 20.0
+    env = Environment()
+    resource = Resource(env, capacity=2)
+
+    def worker(env, i):
+        delay = 1e-3 + i * 1e-5
+        while True:
+            request = resource.request()
+            yield request
+            yield env.timeout(delay)
+            resource.release(request)
+            yield env.timeout(delay * 2)
+
+    for i in range(nprocs):
+        env.process(worker(env, i), name=f"worker:{i}")
+    start = perf_counter()
+    env.run(until=horizon)
+    wall = perf_counter() - start
+    return _result(wall, env.events_processed, env.now, nprocs=nprocs)
+
+
+def table1_tpm(smoke: bool = False) -> dict:
+    """Wall-clock for one Table-I specweb TPM migration."""
+    from repro.analysis.experiments import run_table1_experiment
+
+    scale = 0.005 if smoke else 0.02
+    start = perf_counter()
+    report, bed = run_table1_experiment("specweb", scale=scale)
+    wall = perf_counter() - start
+    return _result(wall, bed.env.events_processed, bed.env.now,
+                   scale=scale,
+                   total_migration_time=report.total_migration_time,
+                   migrated_bytes=report.migrated_bytes)
+
+
+def evacuate_32vm(smoke: bool = False) -> dict:
+    """Wall-clock for evacuating a host carrying 32 VMs (star cluster)."""
+    bench_dir = os.path.join(os.path.dirname(__file__), "..")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from bench_evacuate import evacuate_once
+
+    nblocks, npages = (512, 64) if smoke else (8192, 1024)
+    start = perf_counter()
+    stats, bed = evacuate_once(concurrency=8, nvms=32,
+                               nblocks=nblocks, npages=npages)
+    wall = perf_counter() - start
+    return _result(wall, bed.env.events_processed, bed.env.now,
+                   nvms=32, nblocks=nblocks, npages=npages,
+                   makespan=stats["makespan"],
+                   mean_downtime=stats["mean_downtime"])
+
+
+#: Name -> callable(smoke) for the runner; insertion order is run order.
+SCENARIOS = {
+    "engine": engine,
+    "table1_tpm": table1_tpm,
+    "evacuate_32vm": evacuate_32vm,
+}

@@ -65,6 +65,19 @@ class BlockBitmap(abc.ABC):
     def clear_many(self, indices: np.ndarray) -> None:
         """Mark every block in ``indices`` clean."""
 
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean array: dirtiness of every block in ``indices``.
+
+        The vectorized counterpart of :meth:`test`, used by the post-copy
+        receiver to split an incoming chunk into still-wanted and
+        superseded blocks in one shot.
+        """
+        indices = self._check_indices(indices)
+        out = np.empty(indices.size, dtype=bool)
+        for pos, index in enumerate(indices.tolist()):
+            out[pos] = self.test(index)
+        return out
+
     def set_range(self, start: int, count: int) -> None:
         """Mark ``count`` consecutive blocks from ``start`` dirty."""
         self._check_range(start, count)
@@ -84,7 +97,12 @@ class BlockBitmap(abc.ABC):
 
     @abc.abstractmethod
     def dirty_indices(self) -> np.ndarray:
-        """Sorted array of all dirty block numbers (the bitmap *scan*)."""
+        """Sorted array of all dirty block numbers (the bitmap *scan*).
+
+        Implementations may return a cached array that stays valid until
+        the next mutation; callers must treat the result as **read-only**
+        (take a ``.copy()`` before mutating it).
+        """
 
     # -- whole-bitmap operations --------------------------------------------
 
@@ -139,7 +157,9 @@ class BlockBitmap(abc.ABC):
 
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.nbits):
+        # One reduce checks both bounds: a negative int64 reinterprets as a
+        # uint64 far above any valid bit number.
+        if indices.size and int(indices.view(np.uint64).max()) >= self.nbits:
             raise BitmapError("block indices out of range")
         return indices
 

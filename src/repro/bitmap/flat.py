@@ -6,6 +6,12 @@ That trades 8x memory for O(1) single-bit access and fully vectorized scans
 *serialized* size reported to the migration protocol is the packed size
 (one bit per block), matching the paper's accounting: a 4 KiB-granularity
 bitmap for a 32 GiB disk costs 1 MiB on the wire.
+
+``count()`` and ``dirty_indices()`` are cached: single-bit writes maintain
+the popcount incrementally, bulk writes invalidate and the next query
+recomputes.  The pre-copy loop calls ``count()`` once or more per round
+while the write path runs thousands of times between rounds, so mutators
+pay at most two attribute stores for the caching.
 """
 
 from __future__ import annotations
@@ -19,21 +25,36 @@ from .base import BlockBitmap
 class FlatBitmap(BlockBitmap):
     """Dense bitmap over ``nbits`` blocks."""
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_bits", "_count", "_indices")
 
     def __init__(self, nbits: int) -> None:
         super().__init__(nbits)
         self._bits = np.zeros(nbits, dtype=bool)
+        #: Cached popcount; ``None`` = stale, recomputed on demand.
+        self._count: "int | None" = 0
+        #: Cached ``dirty_indices()`` result; ``None`` = stale.  Treated as
+        #: read-only by every consumer (documented on the base class).
+        self._indices: "np.ndarray | None" = None
 
     # -- single-bit ----------------------------------------------------------
 
     def set(self, index: int) -> None:
         self._check_index(index)
-        self._bits[index] = True
+        bits = self._bits
+        if not bits[index]:
+            bits[index] = True
+            if self._count is not None:
+                self._count += 1
+            self._indices = None
 
     def clear(self, index: int) -> None:
         self._check_index(index)
-        self._bits[index] = False
+        bits = self._bits
+        if bits[index]:
+            bits[index] = False
+            if self._count is not None:
+                self._count -= 1
+            self._indices = None
 
     def test(self, index: int) -> bool:
         self._check_index(index)
@@ -43,25 +64,51 @@ class FlatBitmap(BlockBitmap):
 
     def set_many(self, indices: np.ndarray) -> None:
         self._bits[self._check_indices(indices)] = True
+        self._count = None
+        self._indices = None
+
+    def _set_many_unchecked(self, indices: np.ndarray) -> None:
+        """Bulk set for callers that already validated ``indices``."""
+        self._bits[indices] = True
+        self._count = None
+        self._indices = None
 
     def clear_many(self, indices: np.ndarray) -> None:
         self._bits[self._check_indices(indices)] = False
+        self._count = None
+        self._indices = None
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        return self._bits[self._check_indices(indices)]
 
     def set_range(self, start: int, count: int) -> None:
         self._check_range(start, count)
         self._bits[start:start + count] = True
+        self._count = None
+        self._indices = None
 
     def set_all(self) -> None:
         self._bits[:] = True
+        self._count = self.nbits
+        self._indices = None
 
     def reset(self) -> None:
         self._bits[:] = False
+        self._count = 0
+        self._indices = None
 
     def count(self) -> int:
-        return int(self._bits.sum())
+        cached = self._count
+        if cached is None:
+            cached = self._count = int(self._bits.sum())
+        return cached
 
     def dirty_indices(self) -> np.ndarray:
-        return np.flatnonzero(self._bits)
+        cached = self._indices
+        if cached is None:
+            cached = self._indices = np.flatnonzero(self._bits)
+            self._count = cached.size
+        return cached
 
     # -- whole-bitmap ----------------------------------------------------
 
@@ -69,6 +116,8 @@ class FlatBitmap(BlockBitmap):
         clone = FlatBitmap.__new__(FlatBitmap)
         BlockBitmap.__init__(clone, self.nbits)
         clone._bits = self._bits.copy()
+        clone._count = self._count
+        clone._indices = None
         return clone
 
     def union_update(self, other: BlockBitmap) -> None:
@@ -79,6 +128,8 @@ class FlatBitmap(BlockBitmap):
             np.logical_or(self._bits, other._bits, out=self._bits)
         else:
             self._bits[other.dirty_indices()] = True
+        self._count = None
+        self._indices = None
 
     def serialized_nbytes(self) -> int:
         return (self.nbits + 7) // 8
@@ -99,4 +150,5 @@ class FlatBitmap(BlockBitmap):
         bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), count=nbits)
         bitmap = cls(nbits)
         bitmap._bits = bits.astype(bool)
+        bitmap._count = None
         return bitmap

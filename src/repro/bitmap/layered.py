@@ -6,6 +6,11 @@ are allocated lazily on the first write into their range, so a sparse dirty
 pattern — the common case, because disk writes are highly local — costs
 memory only for the touched parts, and a scan visits only parts whose upper
 bit is set.
+
+Popcounts are summarised per leaf: each materialised leaf caches its own
+dirty count, a mutation drops only the touched leaves' summaries, and
+``count()`` re-sums leaf summaries (recomputing just the stale ones)
+instead of re-popcounting every allocated leaf on every call.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ DEFAULT_LEAF_BITS = 4096
 class LayeredBitmap(BlockBitmap):
     """Lazily-allocated two-level bitmap over ``nbits`` blocks."""
 
-    __slots__ = ("leaf_bits", "_nleaves", "_top", "_leaves")
+    __slots__ = ("leaf_bits", "_nleaves", "_top", "_leaves",
+                 "_leaf_counts", "_total", "_indices")
 
     def __init__(self, nbits: int, leaf_bits: int = DEFAULT_LEAF_BITS) -> None:
         super().__init__(nbits)
@@ -35,6 +41,12 @@ class LayeredBitmap(BlockBitmap):
         self._top = np.zeros(self._nleaves, dtype=bool)
         #: Lazily allocated leaves, keyed by part number.
         self._leaves: dict[int, np.ndarray] = {}
+        #: Per-leaf popcount summaries; a missing key means "stale".
+        self._leaf_counts: dict[int, int] = {}
+        #: Cached total popcount; ``None`` = at least one leaf is stale.
+        self._total: "int | None" = 0
+        #: Cached ``dirty_indices()`` result (read-only for callers).
+        self._indices: "np.ndarray | None" = None
 
     # -- leaf plumbing -----------------------------------------------------
 
@@ -52,20 +64,42 @@ class LayeredBitmap(BlockBitmap):
             self._leaves[leaf] = arr
         return arr
 
+    def _touch_leaf(self, leaf: int) -> None:
+        """Drop the summaries invalidated by a mutation of ``leaf``."""
+        self._leaf_counts.pop(leaf, None)
+        self._total = None
+        self._indices = None
+
     # -- single-bit ----------------------------------------------------------
 
     def set(self, index: int) -> None:
         self._check_index(index)
         leaf, off = divmod(index, self.leaf_bits)
-        self._get_leaf(leaf)[off] = True
-        self._top[leaf] = True
+        arr = self._get_leaf(leaf)
+        if not arr[off]:
+            arr[off] = True
+            self._top[leaf] = True
+            count = self._leaf_counts.get(leaf)
+            if count is not None:
+                self._leaf_counts[leaf] = count + 1
+            if self._total is not None:
+                self._total += 1
+            self._indices = None
+        else:
+            self._top[leaf] = True
 
     def clear(self, index: int) -> None:
         self._check_index(index)
         leaf, off = divmod(index, self.leaf_bits)
         arr = self._leaves.get(leaf)
-        if arr is not None:
+        if arr is not None and arr[off]:
             arr[off] = False
+            count = self._leaf_counts.get(leaf)
+            if count is not None:
+                self._leaf_counts[leaf] = count - 1
+            if self._total is not None:
+                self._total -= 1
+            self._indices = None
 
     def test(self, index: int) -> bool:
         self._check_index(index)
@@ -85,6 +119,7 @@ class LayeredBitmap(BlockBitmap):
             arr = self._get_leaf(int(leaf))
             arr[offsets[leaves == leaf]] = True
             self._top[leaf] = True
+            self._touch_leaf(int(leaf))
 
     def clear_many(self, indices: np.ndarray) -> None:
         indices = self._check_indices(indices)
@@ -96,6 +131,21 @@ class LayeredBitmap(BlockBitmap):
             arr = self._leaves.get(int(leaf))
             if arr is not None:
                 arr[offsets[leaves == leaf]] = False
+                self._touch_leaf(int(leaf))
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        out = np.zeros(indices.size, dtype=bool)
+        if indices.size == 0:
+            return out
+        leaves = indices // self.leaf_bits
+        offsets = indices - leaves * self.leaf_bits
+        for leaf in np.unique(leaves):
+            arr = self._leaves.get(int(leaf))
+            if arr is not None:
+                mask = leaves == leaf
+                out[mask] = arr[offsets[mask]]
+        return out
 
     def set_range(self, start: int, count: int) -> None:
         self._check_range(start, count)
@@ -108,21 +158,42 @@ class LayeredBitmap(BlockBitmap):
             hi = min(start + count - base, self._leaf_len(leaf))
             self._get_leaf(leaf)[lo:hi] = True
             self._top[leaf] = True
+            self._touch_leaf(leaf)
 
     def set_all(self) -> None:
         for leaf in range(self._nleaves):
             self._get_leaf(leaf)[:] = True
+            self._leaf_counts[leaf] = self._leaf_len(leaf)
         self._top[:] = True
+        self._total = self.nbits
+        self._indices = None
 
     def reset(self) -> None:
         """Drop all dirt *and* free every leaf (fresh iteration = fresh map)."""
         self._leaves.clear()
+        self._leaf_counts.clear()
         self._top[:] = False
+        self._total = 0
+        self._indices = None
+
+    def _leaf_count(self, leaf: int, arr: np.ndarray) -> int:
+        count = self._leaf_counts.get(leaf)
+        if count is None:
+            count = self._leaf_counts[leaf] = int(arr.sum())
+        return count
 
     def count(self) -> int:
-        return sum(int(arr.sum()) for arr in self._leaves.values())
+        total = self._total
+        if total is None:
+            total = sum(self._leaf_count(leaf, arr)
+                        for leaf, arr in self._leaves.items())
+            self._total = total
+        return total
 
     def dirty_indices(self) -> np.ndarray:
+        cached = self._indices
+        if cached is not None:
+            return cached
         # The layered scan: only parts whose top bit is set are visited.
         chunks = []
         for leaf in np.flatnonzero(self._top):
@@ -133,8 +204,11 @@ class LayeredBitmap(BlockBitmap):
             if hits.size:
                 chunks.append(hits + int(leaf) * self.leaf_bits)
         if not chunks:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+            result = np.empty(0, dtype=np.int64)
+        else:
+            result = np.concatenate(chunks)
+        self._indices = result
+        return result
 
     # -- whole-bitmap ----------------------------------------------------
 
@@ -142,6 +216,8 @@ class LayeredBitmap(BlockBitmap):
         clone = LayeredBitmap(self.nbits, self.leaf_bits)
         clone._top = self._top.copy()
         clone._leaves = {leaf: arr.copy() for leaf, arr in self._leaves.items()}
+        clone._leaf_counts = dict(self._leaf_counts)
+        clone._total = self._total
         return clone
 
     def union_update(self, other: BlockBitmap) -> None:
@@ -154,6 +230,7 @@ class LayeredBitmap(BlockBitmap):
                     np.logical_or(self._get_leaf(leaf), arr,
                                   out=self._leaves[leaf])
                     self._top[leaf] = True
+                    self._touch_leaf(leaf)
         else:
             self.set_many(other.dirty_indices())
 
@@ -164,11 +241,11 @@ class LayeredBitmap(BlockBitmap):
         clean parts are never transmitted.
         """
         top_bytes = (self._nleaves + 7) // 8
-        dirty_leaf_bytes = sum(
-            (self._leaf_len(int(leaf)) + 7) // 8
-            for leaf in np.flatnonzero(self._top)
-            if (arr := self._leaves.get(int(leaf))) is not None and arr.any()
-        )
+        dirty_leaf_bytes = 0
+        for leaf in np.flatnonzero(self._top):
+            arr = self._leaves.get(int(leaf))
+            if arr is not None and self._leaf_count(int(leaf), arr):
+                dirty_leaf_bytes += (self._leaf_len(int(leaf)) + 7) // 8
         return top_bytes + dirty_leaf_bytes
 
     def memory_nbytes(self) -> int:
@@ -182,6 +259,7 @@ class LayeredBitmap(BlockBitmap):
     def compact(self) -> None:
         """Free leaves that hold no dirt and fix up the top layer."""
         for leaf in list(self._leaves):
-            if not self._leaves[leaf].any():
+            if not self._leaf_count(leaf, self._leaves[leaf]):
                 del self._leaves[leaf]
+                self._leaf_counts.pop(leaf, None)
                 self._top[leaf] = False

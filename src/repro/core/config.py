@@ -48,6 +48,11 @@ class MigrationConfig:
     #: not privilege either side), which is what produces the paper's
     #: Figure 6 contention.  Raise it to favour guest I/O.
     migration_disk_priority: int = 0
+    #: Chunks the bulk-transfer pipeline may hold read-but-unsent (the
+    #: reader→sender buffer depth).  1 serialises read and send; larger
+    #: values let the source disk run ahead of a slow network at the cost
+    #: of buffering that many chunks in memory.
+    pipeline_depth: int = 2
 
     # -- memory pre-copy ---------------------------------------------------
     #: Include memory + CPU in the migration (False = storage-only, used for
@@ -129,6 +134,8 @@ class MigrationConfig:
             raise MigrationError("chunk_blocks must be >= 1")
         if self.max_disk_iterations < 1:
             raise MigrationError("need at least one disk pre-copy iteration")
+        if self.pipeline_depth < 1:
+            raise MigrationError("pipeline_depth must be >= 1")
         if not 0 < self.dirty_rate_stop_fraction:
             raise MigrationError("dirty_rate_stop_fraction must be positive")
         if self.rate_limit is not None and self.rate_limit <= 0:

@@ -157,12 +157,24 @@ class PostCopySynchronizer:
         bitmap = self.transferred_bitmap
         if request.is_write():
             # Lines 5-10: a whole-block write supersedes the stale copy.
-            cancelled = 0
-            for block in request.blocks():
+            if request.nblocks == 1:
+                block = request.block
                 if bitmap.test(block):
                     bitmap.clear(block)
-                    cancelled += 1
                     self._wake(block)  # documented deviation
+                    cancelled = 1
+                else:
+                    cancelled = 0
+            else:
+                blocks = np.arange(request.block,
+                                   request.block + request.nblocks,
+                                   dtype=np.int64)
+                hit = blocks[bitmap.test_many(blocks)]
+                cancelled = int(hit.size)
+                if cancelled:
+                    bitmap.clear_many(hit)
+                    for block in hit.tolist():
+                        self._wake(block)  # documented deviation
             if cancelled:
                 self._remaining -= cancelled
                 metrics = self.env.metrics
@@ -172,7 +184,13 @@ class PostCopySynchronizer:
             return False
 
         # Lines 11-13: reads pull only still-dirty blocks.
-        dirty = [b for b in request.blocks() if bitmap.test(b)]
+        if request.nblocks == 1:
+            dirty = [request.block] if bitmap.test(request.block) else []
+        else:
+            blocks = np.arange(request.block,
+                               request.block + request.nblocks,
+                               dtype=np.int64)
+            dirty = blocks[bitmap.test_many(blocks)].tolist()
         if not dirty:
             return False
 
@@ -207,7 +225,10 @@ class PostCopySynchronizer:
             event.succeed()
 
     def _note_if_synchronized(self) -> None:
-        if self._synchronized_at is None and not self.transferred_bitmap.any():
+        # ``_remaining`` mirrors ``transferred_bitmap.count()`` exactly (the
+        # interceptor and receiver decrement it on every clear), so the
+        # per-message/per-write synchronization check never re-counts.
+        if self._synchronized_at is None and self._remaining == 0:
             self._synchronized_at = self.env.now
             if not self._sync_event.triggered:
                 self._sync_event.succeed()
@@ -233,9 +254,8 @@ class PostCopySynchronizer:
                     f"unexpected control message {msg.tag!r} in post-copy")
             # Lines 2-3: drop blocks a local write has superseded.
             indices = np.asarray(msg.indices, dtype=np.int64)
-            keep = np.fromiter((bitmap.test(int(b)) for b in indices),
-                               dtype=bool, count=indices.size)
-            dropped = int((~keep).sum())
+            keep = bitmap.test_many(indices)
+            dropped = int(indices.size - np.count_nonzero(keep))
             self.stats.dropped_blocks += dropped
             if dropped:
                 self.env.metrics.counter("postcopy.dropped_blocks").inc(
@@ -306,17 +326,21 @@ class PostCopySynchronizer:
                     yield self._pull_wakeup
                     self._pull_wakeup = None
                     continue
-                batch: list[int] = []
-                while (position < order.size
-                       and len(batch) < cfg.push_chunk_blocks):
-                    block = int(order[position])
-                    position += 1
-                    if bitmap.test(block):
-                        batch.append(block)
-                if batch:
-                    yield from self._send_blocks(
-                        np.asarray(batch, dtype=np.int64),
-                        pulled=False, priority=PUSH_PRIORITY)
+                # Consume candidates in windows: exactly as many blocks come
+                # off ``order`` as the scalar test-one-at-a-time loop would
+                # take, but each window is tested in one vector call.
+                batch: "np.ndarray | None" = None
+                need = cfg.push_chunk_blocks
+                while position < order.size and need > 0:
+                    window = order[position:position + need]
+                    position += window.size
+                    live = window[bitmap.test_many(window)]
+                    batch = (live if batch is None
+                             else np.concatenate((batch, live)))
+                    need = cfg.push_chunk_blocks - batch.size
+                if batch is not None and batch.size:
+                    yield from self._send_blocks(batch, pulled=False,
+                                                 priority=PUSH_PRIORITY)
                 elif position >= order.size:
                     break
         except Interrupt:

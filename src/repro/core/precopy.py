@@ -76,18 +76,21 @@ class DiskPreCopier:
 
         # Start tracking *before* the first block is read so no write is
         # ever missed (paper: blkback starts monitoring, then blkd copies).
+        # ``tracking`` is the currently registered bitmap, rebound at every
+        # swap below — the loop body never re-looks it up on the driver.
         if self.resume:
             # A failed attempt left its bitmap registered; swap it out
             # atomically so writes during the retry handshake land in the
             # fresh bitmap while the survivor becomes iteration 1's work.
-            surviving = self.driver.swap_tracking(TRACKING_NAME,
-                                                  self._fresh_bitmap())
+            tracking = self._fresh_bitmap()
+            surviving = self.driver.swap_tracking(TRACKING_NAME, tracking)
             indices = surviving.dirty_indices()
             if self.initial_indices is not None:
                 indices = np.union1d(
                     indices, np.asarray(self.initial_indices, dtype=np.int64))
         else:
-            self.driver.start_tracking(TRACKING_NAME, self._fresh_bitmap())
+            tracking = self._fresh_bitmap()
+            self.driver.start_tracking(TRACKING_NAME, tracking)
             if self.initial_indices is None:
                 indices = np.arange(vbd.nblocks, dtype=np.int64)
             else:
@@ -103,7 +106,7 @@ class DiskPreCopier:
             stats = yield from self.streamer.stream(indices, category="disk",
                                                     limited=True)
             ended = self.env.now
-            dirty_now = self.driver.tracking_bitmap(TRACKING_NAME).count()
+            dirty_now = tracking.count()
             record = IterationStats(
                 index=iteration,
                 units_sent=stats.units_sent,
@@ -124,7 +127,8 @@ class DiskPreCopier:
                 break
 
             # Iteration boundary: hand the dirty map to blkd, reset tracking.
-            old = self.driver.swap_tracking(TRACKING_NAME, self._fresh_bitmap())
+            tracking = self._fresh_bitmap()
+            old = self.driver.swap_tracking(TRACKING_NAME, tracking)
             indices = old.dirty_indices()
             iteration += 1
 

@@ -394,5 +394,4 @@ class ThreePhaseMigration(MigrationScheme):
         if diff.size == 0 or not self.config.track_incremental:
             return diff
         im_bitmap = dst_driver.tracking_bitmap(IM_TRACKING_NAME)
-        overwritten = im_bitmap.to_bool_array()
-        return diff[~overwritten[diff]]
+        return diff[~im_bitmap.test_many(diff)]

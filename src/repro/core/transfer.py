@@ -35,6 +35,25 @@ class StreamStats:
     bytes_sent: int = 0
 
 
+def split_chunks(indices: np.ndarray, chunk_size: int) -> list[np.ndarray]:
+    """Split ``indices`` into ceil(n/chunk_size) nearly-equal chunks.
+
+    Boundaries match ``np.array_split`` exactly (the first ``n % nchunks``
+    chunks get one extra element), but the chunks are plain views of the
+    one input array — no temporary division arrays per call.
+    """
+    n = indices.size
+    nchunks = (n + chunk_size - 1) // chunk_size
+    base, extra = divmod(n, nchunks)
+    chunks = []
+    pos = 0
+    for i in range(nchunks):
+        step = base + 1 if i < extra else base
+        chunks.append(indices[pos:pos + step])
+        pos += step
+    return chunks
+
+
 class BlockStreamer:
     """Moves disk blocks source→destination with stage pipelining."""
 
@@ -92,10 +111,9 @@ class BlockStreamer:
         cfg = self.config
         block_size = self.src_vbd.block_size
         prio = cfg.migration_disk_priority
-        nchunks = (indices.size + cfg.chunk_blocks - 1) // cfg.chunk_blocks
-        chunks = np.array_split(indices, nchunks)
+        chunks = split_chunks(indices, cfg.chunk_blocks)
         self._chunks = chunks
-        ready: Store = Store(env, capacity=2)
+        ready: Store = Store(env, capacity=cfg.pipeline_depth)
 
         def reader(env):
             for chunk in chunks:
@@ -163,8 +181,7 @@ class PageStreamer:
 
         env = self.env
         cfg = self.config
-        nchunks = (indices.size + cfg.mem_chunk_pages - 1) // cfg.mem_chunk_pages
-        chunks = np.array_split(indices, nchunks)
+        chunks = split_chunks(indices, cfg.mem_chunk_pages)
 
         def receiver(env):
             for _ in range(len(chunks)):

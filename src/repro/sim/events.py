@@ -13,6 +13,7 @@ in the event loop.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from ..errors import SimulationError
@@ -89,22 +90,26 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception delivered to waiters."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -126,18 +131,28 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the single most-constructed event type (every modelled
+    latency is one), so construction is a fast lane: the triggered state
+    is written directly and the heap entry is pushed inline, skipping the
+    generic ``Event.__init__``/``Environment.schedule`` pair (and its
+    redundant second delay validation).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

@@ -86,24 +86,26 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         gen = self._generator
+        send = gen.send
 
         while True:
             try:
                 if event._ok:
-                    next_event = gen.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     next_event = gen.throw(event._value)
             except StopIteration as stop:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
@@ -113,12 +115,12 @@ class Process(Event):
                     "processes may only yield Event instances"
                 )
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(SimulationError(msg))
                 return
-            if next_event.env is not self.env:
+            if next_event.env is not env:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(SimulationError(
                     "process yielded an event from a different environment"))
                 return
@@ -127,7 +129,7 @@ class Process(Event):
                 # Not yet processed: park until it fires.
                 next_event.callbacks.append(self._resume)
                 self._target = next_event
-                self.env._active_process = None
+                env._active_process = None
                 return
 
             # Already processed (e.g. an event triggered earlier this step):

@@ -11,7 +11,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..errors import SimulationError
-from .events import Event
+from .events import Event, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Environment
@@ -27,12 +27,21 @@ class Request(Event):
             yield env.timeout(service_time)
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_cancelled")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — a Request is constructed per simulated
+        # I/O, and the chained constructor call is measurable there.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
+        #: Set when the request is withdrawn while still queued; the heap
+        #: entry stays behind and is skipped lazily by ``Resource._grant``.
+        self._cancelled = False
         resource._request(self)
 
     def release(self) -> None:
@@ -46,7 +55,16 @@ class Request(Event):
 
 
 class Resource:
-    """A capacity-limited resource with FIFO (or priority) granting."""
+    """A capacity-limited resource with FIFO (or priority) granting.
+
+    Cancelling a queued request (releasing it before it was granted) is
+    *lazy*: the heap entry is left in place, flagged, and skipped when it
+    eventually surfaces in :meth:`_grant` — O(log n) instead of the O(n)
+    rebuild-and-reheapify a physical removal would cost.
+    """
+
+    __slots__ = ("env", "capacity", "users", "_waiting", "_seq",
+                 "_ncancelled")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
@@ -58,6 +76,8 @@ class Resource:
         #: Heap of (priority, sequence, request) awaiting capacity.
         self._waiting: list[tuple[int, int, Request]] = []
         self._seq = 0
+        #: Entries in ``_waiting`` that are lazily-cancelled tombstones.
+        self._ncancelled = 0
 
     @property
     def count(self) -> int:
@@ -67,7 +87,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for capacity."""
-        return len(self._waiting)
+        return len(self._waiting) - self._ncancelled
 
     def request(self, priority: int = 0) -> Request:
         """Claim one unit of capacity (lower ``priority`` wins)."""
@@ -78,10 +98,12 @@ class Resource:
         try:
             self.users.remove(request)
         except ValueError:
-            # Releasing an ungranted request = cancelling it from the queue.
-            self._waiting = [
-                entry for entry in self._waiting if entry[2] is not request]
-            heapq.heapify(self._waiting)
+            # Releasing an ungranted request = cancelling it from the
+            # queue.  A granted request is always triggered, so a pending
+            # value means the entry is still in the heap: tombstone it.
+            if request._value is PENDING and not request._cancelled:
+                request._cancelled = True
+                self._ncancelled += 1
             return
         self._grant()
 
@@ -89,22 +111,37 @@ class Resource:
 
     def _request(self, request: Request) -> None:
         self._seq += 1
+        if not self._waiting and len(self.users) < self.capacity:
+            # Uncontended fast path: grant without touching the heap.
+            self.users.append(request)
+            request.succeed()
+            return
         heapq.heappush(self._waiting, (request.priority, self._seq, request))
         self._grant()
 
     def _grant(self) -> None:
-        while self._waiting and len(self.users) < self.capacity:
-            _prio, _seq, request = heapq.heappop(self._waiting)
-            self.users.append(request)
+        waiting = self._waiting
+        users = self.users
+        capacity = self.capacity
+        while waiting and len(users) < capacity:
+            request = heapq.heappop(waiting)[2]
+            if request._cancelled:
+                self._ncancelled -= 1
+                continue
+            users.append(request)
             request.succeed()
 
 
 class PriorityResource(Resource):
     """Alias emphasising priority-aware granting (the base already supports it)."""
 
+    __slots__ = ()
+
 
 class Store:
     """An unbounded-or-bounded FIFO of Python objects with blocking get/put."""
+
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -148,6 +185,8 @@ class Store:
 
 class Container:
     """A homogeneous quantity (e.g. bytes of budget) with blocking get/put."""
+
+    __slots__ = ("env", "capacity", "_level", "_getters", "_putters")
 
     def __init__(
         self,

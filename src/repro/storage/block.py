@@ -26,7 +26,7 @@ class IOKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """The paper's ``R<O, N, VM>`` with a block count.
 
@@ -40,7 +40,7 @@ class IORequest:
     domain_id: int = 0
     block_size: int = BLOCK_SIZE
     #: Unique id, used to match pulled blocks back to pending requests.
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    request_id: int = field(default_factory=_request_ids.__next__)
     #: Simulated time at which the request was submitted (set by blkback).
     issue_time: float = -1.0
 

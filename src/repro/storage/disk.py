@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from ..errors import StorageError
-from ..sim import Resource
+from ..sim import Resource, Timeout
 from ..units import MiB
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,11 +72,18 @@ class PhysicalDisk:
         """
         if nbytes < 0:
             raise StorageError(f"negative I/O size {nbytes}")
-        with self._server.request(priority=priority) as grant:
+        # try/finally rather than the context-manager form: this runs once
+        # per simulated I/O and the protocol calls are pure overhead here.
+        server = self._server
+        grant = server.request(priority)
+        try:
             yield grant
-            duration = self.service_time(nbytes, is_write)
-            yield self.env.timeout(duration)
+            duration = self.seek_time + nbytes / (
+                self.write_bandwidth if is_write else self.read_bandwidth)
+            yield Timeout(self.env, duration)
             self.busy_time += duration
+        finally:
+            server.release(grant)
         self.ops += 1
         if is_write:
             self.bytes_written += nbytes
@@ -84,12 +91,12 @@ class PhysicalDisk:
             self.bytes_read += nbytes
 
     def read(self, nbytes: int, priority: int = 0) -> Generator:
-        """``yield from`` helper for a read of ``nbytes``."""
-        yield from self.io(nbytes, is_write=False, priority=priority)
+        """Generator helper for a read of ``nbytes``."""
+        return self.io(nbytes, is_write=False, priority=priority)
 
     def write(self, nbytes: int, priority: int = 0) -> Generator:
-        """``yield from`` helper for a write of ``nbytes``."""
-        yield from self.io(nbytes, is_write=True, priority=priority)
+        """Generator helper for a write of ``nbytes``."""
+        return self.io(nbytes, is_write=True, priority=priority)
 
     @property
     def queue_length(self) -> int:

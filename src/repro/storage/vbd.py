@@ -114,6 +114,13 @@ class VirtualBlockDevice:
         """
         self._check_extent(block, nblocks)
         first = self.clock.tick(nblocks)
+        if self._data is None and nblocks <= 8:
+            # Scalar stamp stores: ~2x cheaper than materialising an arange
+            # for the short extents guest writes overwhelmingly are.
+            gen = self._gen
+            for i in range(nblocks):
+                gen[block + i] = first + i
+            return first
         self._gen[block:block + nblocks] = np.arange(
             first, first + nblocks, dtype=np.uint64)
         if self._data is not None:
@@ -178,7 +185,9 @@ class VirtualBlockDevice:
 
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.nblocks):
+        # One reduce checks both bounds: a negative int64 reinterprets as a
+        # uint64 far above any valid block number.
+        if indices.size and int(indices.view(np.uint64).max()) >= self.nblocks:
             raise StorageError("block indices out of device range")
         return indices
 

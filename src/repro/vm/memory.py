@@ -82,13 +82,14 @@ class GuestMemory:
     def touch(self, indices: np.ndarray) -> None:
         """The guest writes the given pages."""
         indices = self._check_indices(indices)
-        if indices.size == 0:
+        size = indices.size
+        if size == 0:
             return
-        first = self.clock.tick(indices.size)
-        self._gen[indices] = np.arange(
-            first, first + indices.size, dtype=np.uint64)
+        first = self.clock.tick(size)
+        self._gen[indices] = np.arange(first, first + size, dtype=np.uint64)
         if self._dirty is not None:
-            self._dirty.set_many(indices)
+            # Already validated against npages == nbits just above.
+            self._dirty._set_many_unchecked(indices)
 
     def touch_range(self, start: int, count: int) -> None:
         """The guest writes ``count`` consecutive pages from ``start``."""
@@ -127,7 +128,9 @@ class GuestMemory:
 
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.npages):
+        # One reduce checks both bounds: a negative int64 reinterprets as a
+        # uint64 far above any valid page number.
+        if indices.size and int(indices.view(np.uint64).max()) >= self.npages:
             raise StorageError("page indices out of range")
         return indices
 

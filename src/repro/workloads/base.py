@@ -102,11 +102,20 @@ class Workload(abc.ABC):
 
     def read(self, block: int, nblocks: int = 1) -> Generator:
         """Guest disk read (gated on the domain running)."""
-        yield from self.domain.read(block, nblocks)
+        return self.domain.read(block, nblocks)
 
     def write(self, block: int, nblocks: int = 1) -> Generator:
         """Guest disk write (gated on the domain running)."""
-        yield from self.domain.write(block, nblocks)
+        return self.domain.write(block, nblocks)
+
+    def write_batch(self, extents) -> Generator:
+        """Coalesced guest writes: one disk reservation for the whole batch.
+
+        Opt-in — coalescing pays a single seek for the batch and therefore
+        *changes simulated timing* relative to one :meth:`write` per extent
+        (see :meth:`~repro.vm.domain.Domain.write_batch`).
+        """
+        return self.domain.write_batch(extents)
 
     def touch(self, pages: np.ndarray) -> Generator:
         """Dirty guest pages, waiting for resume if suspended mid-loop."""

@@ -71,10 +71,13 @@ class BonniePlusPlus(Workload):
         model = self._seq(extent_bytes)
         steps = self.file_region[1] // model.extent_blocks
         block_size = self.domain.vbd.block_size
-        for _ in range(steps):
+        # The sequential walk consumes no randomness, so the whole pass
+        # can be drawn upfront in one vectorized call.
+        firsts, counts = model.next_extents(steps, self.rng)
+        for i in range(steps):
             yield from self.domain.ensure_running()
             start = env.now
-            first, nblocks = model.next_extent(self.rng)
+            first, nblocks = int(firsts[i]), int(counts[i])
             if do_read:
                 yield from self.read(first, nblocks)
             if do_write:

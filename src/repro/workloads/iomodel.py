@@ -37,6 +37,24 @@ class AddressModel(abc.ABC):
     def next_extent(self, rng: np.random.Generator) -> tuple[int, int]:
         """The next ``(first_block, nblocks)`` to access."""
 
+    def next_extents(self, n: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``n`` extents as ``(firsts, counts)`` int64 arrays.
+
+        Draws exactly the same values, in the same order, as ``n``
+        sequential :meth:`next_extent` calls — callers may freely mix the
+        two without perturbing the random stream.  Subclasses whose draws
+        have no value-dependent control flow override this with a
+        vectorized version; the default loops.
+        """
+        if n < 0:
+            raise ReproError(f"cannot draw {n} extents")
+        firsts = np.empty(n, dtype=np.int64)
+        counts = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            firsts[i], counts[i] = self.next_extent(rng)
+        return firsts, counts
+
     def _clamp(self, offset: int) -> int:
         """Clamp a region-relative offset so the extent fits."""
         return min(max(offset, 0), self.region_blocks - self.extent_blocks)
@@ -60,6 +78,31 @@ class SequentialModel(AddressModel):
         self._cursor += self.extent_blocks
         return first, self.extent_blocks
 
+    def next_extents(self, n: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        # No randomness: the whole walk (wrap points included) is closed
+        # form.  The cursor is always a whole number of extents, a pass
+        # holds ``region_blocks // ext`` of them, and a full cursor wraps
+        # *lazily* on the next draw — all exactly as the scalar path does.
+        if n < 0:
+            raise ReproError(f"cannot draw {n} extents")
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        ext = self.extent_blocks
+        per_pass = self.region_blocks // ext
+        pending = self._cursor + ext > self.region_blocks
+        v0 = 0 if pending else self._cursor // ext
+        steps = (v0 + np.arange(n, dtype=np.int64)) % per_pass
+        firsts = self.region_start + steps * ext
+        counts = np.full(n, ext, dtype=np.int64)
+        if pending:
+            self.passes += 1 + (n - 1) // per_pass
+        else:
+            self.passes += (v0 + n - 1) // per_pass
+        self._cursor = (int(steps[-1]) + 1) * ext
+        return firsts, counts
+
     def rewind(self) -> None:
         self._cursor = 0
 
@@ -70,6 +113,21 @@ class UniformModel(AddressModel):
     def next_extent(self, rng: np.random.Generator) -> tuple[int, int]:
         offset = int(rng.integers(0, self.region_blocks - self.extent_blocks + 1))
         return self.region_start + offset, self.extent_blocks
+
+    def next_extents(self, n: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        # One sized draw consumes the identical random stream as ``n``
+        # scalar ``integers()`` calls (PCG64 draws per element either way).
+        if n < 0:
+            raise ReproError(f"cannot draw {n} extents")
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        offsets = rng.integers(0, self.region_blocks - self.extent_blocks + 1,
+                               size=n)
+        firsts = self.region_start + offsets.astype(np.int64, copy=False)
+        counts = np.full(n, self.extent_blocks, dtype=np.int64)
+        return firsts, counts
 
 
 class ZipfModel(AddressModel):

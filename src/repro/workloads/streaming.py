@@ -55,15 +55,28 @@ class VideoStreamServer(Workload):
         #: Reads that exceeded the stall threshold (observable glitches).
         self.stalls = 0
 
+    #: Sequential video extents prefetched per batched draw.
+    PREFETCH_EXTENTS = 16
+
     def run(self, env: "Environment") -> Generator:
         rng = self.rng
         next_log = env.now + self.log_interval
         period = self.read_chunk / self.stream_rate
+        # The video walk is deterministic (no RNG), so extents can be
+        # drawn in batches ahead of use without changing anything.
+        batch_firsts = batch_counts = None
+        bpos = 0
         while True:
             yield from self.domain.ensure_running()
             start = env.now
 
-            first, nblocks = self.video.next_extent(rng)
+            if batch_firsts is None or bpos == batch_firsts.size:
+                batch_firsts, batch_counts = self.video.next_extents(
+                    self.PREFETCH_EXTENTS, rng)
+                bpos = 0
+            first = int(batch_firsts[bpos])
+            nblocks = int(batch_counts[bpos])
+            bpos += 1
             yield from self.read(first, nblocks)
             yield from self.serve_network(self.read_chunk)
             latency = env.now - start

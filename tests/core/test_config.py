@@ -49,6 +49,15 @@ class TestValidation:
         with pytest.raises(MigrationError):
             MigrationConfig(dirty_rate_stop_fraction=0)
 
+    def test_pipeline_depth_at_least_one(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(pipeline_depth=0)
+        with pytest.raises(MigrationError):
+            MigrationConfig(pipeline_depth=-3)
+        assert MigrationConfig().pipeline_depth == 2
+        assert MigrationConfig(pipeline_depth=1).pipeline_depth == 1
+        assert MigrationConfig(pipeline_depth=8).pipeline_depth == 8
+
 
 class TestReplace:
     def test_replace_returns_modified_copy(self):

@@ -129,3 +129,51 @@ class TestGranularityProperties:
         coarse = granularity_cost(writes, disk, 4 * KiB)
         assert fine.dirty_bytes <= coarse.dirty_bytes
         assert fine.bitmap_nbytes >= coarse.bitmap_nbytes
+
+
+class TestCachedObservations:
+    """The incremental count and cached dirty_indices must stay coherent
+    when observations are interleaved with arbitrary mutations — the
+    surface the caching fast paths could get wrong."""
+
+    @given(operations(), st.sampled_from([16, 64, 100, 257]))
+    @settings(max_examples=60)
+    def test_observing_between_every_mutation(self, ops, leaf_bits):
+        flat = FlatBitmap(NBITS)
+        layered = LayeredBitmap(NBITS, leaf_bits=leaf_bits)
+        probe = np.arange(0, NBITS, 7, dtype=np.int64)
+        for op in ops:
+            apply_ops(flat, [op])
+            apply_ops(layered, [op])
+            # Every observation in between primes (and must invalidate)
+            # the cached count/indices.
+            assert flat.count() == layered.count()
+            assert np.array_equal(flat.dirty_indices(),
+                                  layered.dirty_indices())
+            assert np.array_equal(flat.test_many(probe),
+                                  layered.test_many(probe))
+        assert flat.count() == flat.dirty_indices().size
+
+    @given(operations(), operations())
+    @settings(max_examples=40)
+    def test_union_update_invalidates_caches(self, ops_a, ops_b):
+        a, b = FlatBitmap(NBITS), FlatBitmap(NBITS)
+        apply_ops(a, ops_a)
+        apply_ops(b, ops_b)
+        expected = a.to_bool_array() | b.to_bool_array()
+        a.count(), a.dirty_indices()  # prime the caches
+        a.union_update(b)
+        assert a.count() == int(expected.sum())
+        assert np.array_equal(a.dirty_indices(), np.flatnonzero(expected))
+
+    @given(operations())
+    @settings(max_examples=40)
+    def test_dirty_indices_survive_later_mutation(self, ops):
+        bm = FlatBitmap(NBITS)
+        apply_ops(bm, ops)
+        snapshot = bm.dirty_indices().copy()
+        before = bm.dirty_indices()
+        bm.set_range(0, NBITS)  # mutate after handing out indices
+        # The array handed out earlier must not be corrupted in place.
+        assert np.array_equal(before, snapshot)
+        assert bm.count() == NBITS

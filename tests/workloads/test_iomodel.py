@@ -178,3 +178,68 @@ class TestMemoryDirtier:
             MemoryDirtier(100, wss_pages=200, pages_per_second=1)
         with pytest.raises(ReproError):
             MemoryDirtier(100, wss_pages=10, pages_per_second=-1)
+
+
+MODEL_FACTORIES = [
+    pytest.param(lambda: SequentialModel(100, 37, extent_blocks=4),
+                 id="sequential"),
+    pytest.param(lambda: UniformModel(0, 500, extent_blocks=8),
+                 id="uniform"),
+    pytest.param(lambda: ZipfModel(0, 300, extent_blocks=2, alpha=1.3),
+                 id="zipf"),
+    pytest.param(lambda: HotspotModel(10, 400, extent_blocks=4),
+                 id="hotspot"),
+    pytest.param(lambda: FreshAppendModel(0, 256, extent_blocks=4,
+                                          rewrite_prob=0.3),
+                 id="freshappend"),
+]
+
+
+class TestNextExtentsEquivalence:
+    """Batched draws must consume the exact stream of scalar draws."""
+
+    @pytest.mark.parametrize("make", MODEL_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_interleaved_batched_matches_scalar(self, make, seed):
+        scalar_model, batch_model = make(), make()
+        scalar_rng = np.random.default_rng(seed)
+        batch_rng = np.random.default_rng(seed)
+        scalar_draws, batch_draws = [], []
+        # Mix batch sizes (including 0 and sizes spanning several wraps
+        # of the sequential walk) with single draws on both sides.
+        for n in [3, 0, 1, 11, 2, 40, 1]:
+            for _ in range(n):
+                scalar_draws.append(scalar_model.next_extent(scalar_rng))
+            firsts, counts = batch_model.next_extents(n, batch_rng)
+            assert firsts.dtype == np.int64 and counts.dtype == np.int64
+            batch_draws.extend(zip(firsts.tolist(), counts.tolist()))
+        assert scalar_draws == batch_draws
+        # The random streams stay aligned: one more scalar draw from each
+        # model/rng pair must still agree.
+        assert (scalar_model.next_extent(scalar_rng)
+                == batch_model.next_extent(batch_rng))
+
+    def test_sequential_state_matches_scalar(self):
+        scalar_model = SequentialModel(100, 37, extent_blocks=4)
+        batch_model = SequentialModel(100, 37, extent_blocks=4)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            scalar_model.next_extent(rng)
+        batch_model.next_extents(25, rng)
+        assert batch_model.passes == scalar_model.passes
+        assert batch_model._cursor == scalar_model._cursor
+
+    @pytest.mark.parametrize("make", MODEL_FACTORIES)
+    def test_negative_count_rejected(self, make):
+        with pytest.raises(ReproError):
+            make().next_extents(-1, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("make", MODEL_FACTORIES)
+    def test_zero_count_draws_nothing(self, make):
+        model = make()
+        rng = np.random.default_rng(5)
+        shadow = np.random.default_rng(5)
+        firsts, counts = model.next_extents(0, rng)
+        assert firsts.size == 0 and counts.size == 0
+        # No randomness was consumed.
+        assert rng.integers(0, 1 << 30) == shadow.integers(0, 1 << 30)

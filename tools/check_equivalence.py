@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Equivalence gate for simulator optimizations.
+
+Hot-path work (engine fast lanes, cached bitmap popcounts, vectorized
+dirty-marking, ...) is only admissible when it is *behavior-preserving*:
+the optimized simulator must produce :class:`~repro.core.MigrationReport`
+objects bit-identical to fixtures captured before the optimization.  This
+script runs a fixed set of deterministic scenarios — all five registered
+migration schemes plus one fault-injected incremental-retry run — and
+compares every field of every report (floats included, exactly) against
+``tests/fixtures/equivalence.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_equivalence.py            # verify
+    PYTHONPATH=src python tools/check_equivalence.py --capture  # re-baseline
+
+``--capture`` rewrites the fixture file from the current code and is only
+legitimate when the simulation semantics intentionally changed (new
+scheme behaviour, changed defaults) — never to paper over an optimization
+that drifted.  The CI job runs the verify mode on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "..", "tests",
+                            "fixtures", "equivalence.json")
+
+#: Bump when scenarios themselves change (forces an explicit re-capture).
+SCENARIO_VERSION = 1
+
+
+def _report_dict(report) -> dict:
+    """A plain-JSON projection of a MigrationReport (exact floats)."""
+    return dataclasses.asdict(report)
+
+
+def _run_scheme(scheme: str) -> dict:
+    from repro.analysis.experiments import run_baseline_experiment
+
+    report, bed, _migration = run_baseline_experiment(
+        scheme, workload="specweb", scale=0.01, seed=0)
+    return {"report": _report_dict(report),
+            "final_now": bed.env.now,
+            "workload_bytes": bed.workload.bytes_processed}
+
+
+def _run_fault_retry() -> dict:
+    from repro.analysis.experiments import build_testbed
+    from repro.core import MigrationRetrier
+    from repro.faults import FaultInjector, FaultPlan
+
+    bed = build_testbed("specweb", scale=0.01, seed=0)
+    bed.start_workload()
+    bed.run_for(5.0)
+    # Kill the first attempt mid disk pre-copy; the retry resumes from the
+    # surviving tracking bitmap (incremental), so the fixture covers the
+    # failure-teardown path *and* the IM resume path.
+    plan = (FaultPlan(send_timeout=0.05)
+            .blackout(duration=0.5, phase="precopy-disk", offset=0.05))
+    FaultInjector(bed.env, plan).inject(bed.migrator)
+    retrier = MigrationRetrier(bed.migrator, max_attempts=3,
+                               initial_backoff=0.3, incremental=True)
+    proc = retrier.migrate_process(bed.domain, bed.destination,
+                                   workload_name=bed.workload.name)
+    report = bed.env.run(until=proc)
+    if report.attempts < 2:
+        raise AssertionError(
+            "fault-retry scenario did not actually fail+retry "
+            f"(attempts={report.attempts}); fixture would be meaningless")
+    return {"report": _report_dict(report),
+            "final_now": bed.env.now,
+            "workload_bytes": bed.workload.bytes_processed}
+
+
+def scenarios() -> dict:
+    """Name -> thunk for every fixture scenario (deterministic order)."""
+    from repro.analysis.experiments import BASELINE_SCHEMES
+
+    table = {}
+    for scheme in BASELINE_SCHEMES:
+        table[f"scheme:{scheme}"] = (
+            lambda scheme=scheme: _run_scheme(scheme))
+    table["fault-retry:incremental"] = _run_fault_retry
+    return table
+
+
+def _diff(path: str, expected, actual, out: list) -> None:
+    """Collect human-readable leaf differences between two JSON trees."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                out.append(f"{path}.{key}: unexpected (={actual[key]!r})")
+            elif key not in actual:
+                out.append(f"{path}.{key}: missing (was {expected[key]!r})")
+            else:
+                _diff(f"{path}.{key}", expected[key], actual[key], out)
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(f"{path}: length {len(expected)} -> {len(actual)}")
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _diff(f"{path}[{i}]", e, a, out)
+    elif expected != actual:
+        out.append(f"{path}: {expected!r} -> {actual!r}")
+
+
+def capture(path: str) -> int:
+    results = {}
+    for name, thunk in scenarios().items():
+        print(f"capture {name} ...", flush=True)
+        results[name] = thunk()
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"version": SCENARIO_VERSION, "scenarios": results},
+                  fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(results)} reference scenarios to {path}")
+    return 0
+
+
+def verify(path: str, max_diffs: int = 20) -> int:
+    if not os.path.exists(path):
+        print(f"ERROR: no fixture file at {path}; "
+              "run with --capture on known-good code first")
+        return 2
+    with open(path) as fh:
+        fixture = json.load(fh)
+    if fixture.get("version") != SCENARIO_VERSION:
+        print(f"ERROR: fixture version {fixture.get('version')} != "
+              f"scenario version {SCENARIO_VERSION}; re-capture needed")
+        return 2
+
+    failed = []
+    for name, thunk in scenarios().items():
+        expected = fixture["scenarios"].get(name)
+        if expected is None:
+            print(f"FAIL {name}: not in fixture file")
+            failed.append(name)
+            continue
+        actual = thunk()
+        # Round-trip through JSON so float representation is compared on
+        # identical footing with the stored fixture.
+        actual = json.loads(json.dumps(actual))
+        diffs: list = []
+        _diff(name, expected, actual, diffs)
+        if diffs:
+            print(f"FAIL {name}: {len(diffs)} field(s) differ")
+            for line in diffs[:max_diffs]:
+                print(f"    {line}")
+            if len(diffs) > max_diffs:
+                print(f"    ... and {len(diffs) - max_diffs} more")
+            failed.append(name)
+        else:
+            print(f"PASS {name}")
+
+    if failed:
+        print(f"\nEQUIVALENCE BROKEN: {len(failed)}/{len(fixture['scenarios'])} "
+              f"scenario(s) diverged: {', '.join(failed)}")
+        return 1
+    print(f"\nAll {len(fixture['scenarios'])} scenarios bit-identical "
+          "to the reference fixtures.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--capture", action="store_true",
+                        help="rewrite the reference fixtures from current "
+                             "code (only when semantics intentionally change)")
+    parser.add_argument("--fixture", default=FIXTURE_PATH,
+                        help="fixture file path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.capture:
+        return capture(args.fixture)
+    return verify(args.fixture)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
