@@ -81,6 +81,9 @@ class FaultBed:
                 yield from domain.ensure_running()
                 block = int(rng.integers(0, region))
                 yield from domain.write(block, 4)
+                # A host crash may have suspended the domain mid-write;
+                # never dirty memory while frozen.
+                yield from domain.ensure_running()
                 domain.touch_memory(rng.integers(0, domain.memory.npages,
                                                  size=8))
                 yield env.timeout(0.002)

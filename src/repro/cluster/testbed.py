@@ -71,6 +71,7 @@ def build_cluster(
     config: Optional[MigrationConfig] = None,
     observe: bool = False,
     env: Optional["Environment"] = None,
+    persist: bool = False,
 ) -> ClusterBed:
     """Assemble an ``nhosts``-machine cluster with ``vms_per_host`` idle
     VMs per host and a :class:`~repro.cluster.scheduler.ClusterScheduler`
@@ -97,6 +98,10 @@ def build_cluster(
 
             install(env)
     cfg = config if config is not None else MigrationConfig()
+    if persist and not cfg.persist_bitmap:
+        # Cluster-wide durability: every migration journals its tracking
+        # bitmap to the source host's stable storage (see repro.persist).
+        cfg = cfg.replace(persist_bitmap=True)
     clock = GenerationClock()
     hosts = [Host(env, f"host{i:02d}",
                   PhysicalDisk(env, disk_read_bw, disk_write_bw, seek_time),

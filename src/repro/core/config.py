@@ -98,6 +98,27 @@ class MigrationConfig:
     #: migration back can be incremental (§V).
     track_incremental: bool = True
 
+    # -- durable bitmaps (repro.persist) -----------------------------------
+    #: Persist the pre-copy tracking bitmap to the source host's stable
+    #: storage so a host crash mid-migration still allows an *incremental*
+    #: retry after restart.  Off by default: persistence must not perturb
+    #: the simulated timeline (the store itself charges zero simulated
+    #: time, but this keeps the feature strictly opt-in).
+    persist_bitmap: bool = False
+    #: Store write-back policy: ``"wal"`` (flush every record; exact
+    #: recovery), ``"batch"`` (flush every ``persist_flush_every``
+    #: records), or ``"snapshot"`` (journal never flushed between
+    #: snapshots; recovery over-marks up to guard-region granularity).
+    persist_sync_policy: str = "wal"
+    #: Records per journal flush under the ``"batch"`` policy.
+    persist_flush_every: int = 64
+    #: Blocks per eagerly-durable guard region (lazy policies over-mark at
+    #: most this granularity per staged set batch).
+    persist_region_bits: int = 4096
+    #: Journal records accumulated before the store auto-compacts into a
+    #: fresh snapshot.
+    persist_snapshot_every: int = 4096
+
     # -- guest-aware migration (paper §VII future work, implemented) --------
     #: Skip blocks the guest never wrote: a never-written block is all
     #: zeroes on both the source and a freshly prepared destination VBD, so
@@ -150,6 +171,18 @@ class MigrationConfig:
             raise MigrationError("verify_retry_budget cannot be negative")
         if self.verify_retry_interval <= 0:
             raise MigrationError("verify_retry_interval must be positive")
+        from ..persist.store import SYNC_POLICIES
+
+        if self.persist_sync_policy not in SYNC_POLICIES:
+            raise MigrationError(
+                f"unknown persist sync policy {self.persist_sync_policy!r};"
+                f" valid: {SYNC_POLICIES}")
+        if self.persist_flush_every < 1:
+            raise MigrationError("persist_flush_every must be >= 1")
+        if self.persist_region_bits < 1:
+            raise MigrationError("persist_region_bits must be >= 1")
+        if self.persist_snapshot_every < 1:
+            raise MigrationError("persist_snapshot_every must be >= 1")
 
     def replace(self, **overrides) -> "MigrationConfig":
         """A copy of this config with the given fields changed."""

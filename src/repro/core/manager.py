@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..errors import MigrationError, MigrationFailed, StorageError
+from ..persist.backup import BACKUP_TRACKING_PREFIX
 from ..net.channel import Channel
 from ..net.compression import Compressor
 from ..net.link import DuplexLink
@@ -212,6 +213,15 @@ class Migrator:
                          for host, bitmap in divergence.items()}
                         if self.multi_host_im else {})
 
+            # Backup-chain tracking bitmaps follow the domain: they stay
+            # registered on the source through pre-copy and re-register on
+            # the destination before resume, so the chain keeps
+            # accumulating deltas across the migration (the tp-qemu
+            # backup-with-migration scenario).
+            for name in src_driver.tracking_names():
+                if name.startswith(BACKUP_TRACKING_PREFIX):
+                    extra_im[name] = src_driver.tracking_bitmap(name)
+
             kwargs.update(initial_indices=initial_indices,
                           dest_vbd=dest_vbd, extra_im_bitmaps=extra_im,
                           resume=resume)
@@ -349,19 +359,29 @@ class MigrationRetrier:
 
     def __init__(self, migrator: Migrator, max_attempts: int = 3,
                  initial_backoff: float = 0.5, backoff_factor: float = 2.0,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True, max_backoff: float = 60.0,
+                 wait_for_restart: bool = False) -> None:
         if max_attempts < 1:
             raise MigrationError("max_attempts must be >= 1")
         if initial_backoff < 0:
             raise MigrationError("initial_backoff cannot be negative")
         if backoff_factor < 1.0:
             raise MigrationError("backoff_factor must be >= 1")
+        if max_backoff <= 0:
+            raise MigrationError("max_backoff must be positive")
         self.migrator = migrator
         self.env = migrator.env
         self.max_attempts = max_attempts
         self.initial_backoff = initial_backoff
         self.backoff_factor = backoff_factor
         self.incremental = incremental
+        #: Ceiling on the exponential backoff: without it, large
+        #: ``max_attempts`` produce absurd simulated waits (0.5 * 2**20 s).
+        self.max_backoff = max_backoff
+        #: After the backoff, additionally wait for a crashed source or
+        #: destination to restart before re-attempting — the crash-recovery
+        #: path (pointless against hosts that never restart, hence opt-in).
+        self.wait_for_restart = wait_for_restart
 
     def migrate(self, domain: Domain, destination: Host,
                 config: Optional[MigrationConfig] = None,
@@ -380,7 +400,7 @@ class MigrationRetrier:
         """
         failures: list[MigrationReport] = []
         backoff_total = 0.0
-        delay = self.initial_backoff
+        delay = min(self.initial_backoff, self.max_backoff)
         for attempt in range(1, self.max_attempts + 1):
             self.env.metrics.counter("retry.attempts").inc()
             try:
@@ -406,7 +426,13 @@ class MigrationRetrier:
                     if delay > 0:
                         yield self.env.timeout(delay)
                 backoff_total += delay
-                delay *= self.backoff_factor
+                delay = min(delay * self.backoff_factor, self.max_backoff)
+                if self.wait_for_restart:
+                    source = domain.host
+                    if source is not None and source.crashed:
+                        yield from source.wait_until_up()
+                    if destination.crashed:
+                        yield from destination.wait_until_up()
                 continue
             report.attempts = attempt
             report.failed_attempts = failures

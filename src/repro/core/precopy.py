@@ -47,11 +47,20 @@ class DiskPreCopier:
         initial_indices: Optional[np.ndarray] = None,
         abort_requested=None,
         resume: bool = False,
+        store=None,
     ) -> None:
         self.env = env
         self.driver = driver
         self.streamer = streamer
         self.config = config
+        #: Optional :class:`~repro.persist.store.BitmapStore`: when set,
+        #: every tracking bitmap this pre-copy registers is wrapped in a
+        #: :class:`~repro.persist.tracked.PersistentBitmap` so guest
+        #: writes journal to stable storage as they are marked.
+        self.store = store
+        #: True when the resume path adopted a bitmap rebuilt by crash
+        #: recovery rather than one that survived in memory.
+        self.adopted_recovered = False
         #: Blocks of the first iteration; None = the whole device (primary
         #: migration), an array = the IM dirty set (§V).
         self.initial_indices = initial_indices
@@ -66,8 +75,13 @@ class DiskPreCopier:
 
     def _fresh_bitmap(self):
         cfg = self.config
-        return make_bitmap(self.driver.vbd.nblocks, cfg.bitmap_layout,
-                           leaf_bits=cfg.leaf_bits)
+        bitmap = make_bitmap(self.driver.vbd.nblocks, cfg.bitmap_layout,
+                             leaf_bits=cfg.leaf_bits)
+        if self.store is not None:
+            from ..persist.tracked import PersistentBitmap
+
+            bitmap = PersistentBitmap(bitmap, self.store)
+        return bitmap
 
     def run(self) -> Generator:
         """Execute the iterations; returns ``list[IterationStats]``."""
@@ -84,10 +98,16 @@ class DiskPreCopier:
             # fresh bitmap while the survivor becomes iteration 1's work.
             tracking = self._fresh_bitmap()
             surviving = self.driver.swap_tracking(TRACKING_NAME, tracking)
+            self.adopted_recovered = bool(getattr(surviving, "recovered",
+                                                  False))
             indices = surviving.dirty_indices()
             if self.initial_indices is not None:
                 indices = np.union1d(
                     indices, np.asarray(self.initial_indices, dtype=np.int64))
+            if self.store is not None and self.store.is_open:
+                # The retry's first-iteration work set is pending again by
+                # definition (dedup in the store makes this nearly free).
+                self.store.record_set(indices)
         else:
             tracking = self._fresh_bitmap()
             self.driver.start_tracking(TRACKING_NAME, tracking)

@@ -256,7 +256,10 @@ class MigrationScheme:
         keep_vbd = self._on_failure(exc)
         if self.domain.memory.logging:
             self.domain.memory.stop_logging()
-        if (self.domain.host is self.source and not self.domain.running):
+        if (self.domain.host is self.source and not self.domain.running
+                and not self.source.crashed):
+            # A crashed source cannot resume anything — the host's own
+            # restart brings the domain back.
             self.domain.resume()
         report.extra["failed"] = True
         report.extra["failure"] = str(exc)

@@ -88,6 +88,8 @@ class ThreePhaseMigration(MigrationScheme):
         self.resume = resume
         self._block_streamer: Optional[BlockStreamer] = None
         self._src_driver = None
+        #: Durable bitmap store backing this attempt (persist_bitmap only).
+        self._store = None
         #: Destination VBD of the in-flight attempt (for the failure path).
         self._dest_vbd_inflight: Optional[VirtualBlockDevice] = None
         self.report.incremental = initial_indices is not None
@@ -162,12 +164,43 @@ class ThreePhaseMigration(MigrationScheme):
             initial_indices = src_vbd.allocated_indices()
             report.extra["guest_aware_skipped_blocks"] = int(
                 src_vbd.nblocks - initial_indices.size)
+        store = None
+        if cfg.persist_bitmap:
+            store = self._store = self.source.bitmap_store(
+                domain.domain_id, purpose="precopy",
+                nbits=src_vbd.nblocks,
+                policy=cfg.persist_sync_policy,
+                flush_every=cfg.persist_flush_every,
+                region_bits=cfg.persist_region_bits,
+                snapshot_every=cfg.persist_snapshot_every)
+            if not store.is_open:
+                # A fresh session: everything the first iteration will
+                # move is pending.  A retry finds the prior attempt's (or
+                # crash recovery's) session already open and keeps it.
+                store.open_session(None if self.resume
+                                   else initial_indices)
+
+            def confirm_clear(indices, _store=store, _driver=src_driver):
+                # Blocks the destination confirmed are no longer pending —
+                # unless the guest re-dirtied them after the chunk was
+                # read, in which case the live bitmap still marks them.
+                if not _store.is_open:
+                    return
+                if _driver.has_tracking(TRACKING_NAME):
+                    live = _driver.tracking_bitmap(TRACKING_NAME)
+                    indices = indices[~live.test_many(indices)]
+                if indices.size:
+                    _store.record_clear(indices)
+
+            block_streamer.chunk_written = confirm_clear
         precopier = DiskPreCopier(
             env, src_driver, block_streamer, cfg,
             initial_indices=initial_indices,
             abort_requested=lambda: self._abort_requested,
-            resume=self.resume)
+            resume=self.resume, store=store)
         report.disk_iterations = yield from precopier.run()
+        if precopier.adopted_recovered:
+            report.extra["recovered_from_persistence"] = True
         report.precopy_disk_ended_at = env.now
         tracer.end(disk_span,
                    iterations=len(report.disk_iterations),
@@ -233,6 +266,12 @@ class ThreePhaseMigration(MigrationScheme):
         # Harvest the final block-bitmap and ship it (the *only* disk
         # synchronization data the downtime pays for).
         final_bitmap = src_driver.stop_tracking(TRACKING_NAME)
+        if self._store is not None and self._store.is_open:
+            # Committed: the source copy is now the stale one, so the
+            # pending set is moot.  Mark the store clean — a crash after
+            # this point has nothing to recover (post-copy failures are a
+            # different, non-retriable failure class).
+            self._store.complete()
         report.remaining_dirty_blocks = final_bitmap.count()
         report.bitmap_nbytes = final_bitmap.serialized_nbytes()
         env.metrics.gauge("tpm.remaining_dirty_blocks").set(
@@ -267,8 +306,11 @@ class ThreePhaseMigration(MigrationScheme):
                 IM_TRACKING_NAME,
                 make_bitmap(dest_vbd.nblocks, cfg.bitmap_layout,
                             leaf_bits=cfg.leaf_bits))
-            for name, bitmap in self.extra_im_bitmaps.items():
-                dst_driver.start_tracking(name, bitmap)
+        # Carried bitmaps (divergence maps, backup-chain tracking) follow
+        # the domain regardless of IM tracking — a backup chain must not
+        # silently stop accumulating deltas because IM is off.
+        for name, bitmap in self.extra_im_bitmaps.items():
+            dst_driver.start_tracking(name, bitmap)
 
         synchronizer = PostCopySynchronizer(
             env, self.source.disk, src_vbd, self.destination.disk, dest_vbd,
@@ -345,6 +387,8 @@ class ThreePhaseMigration(MigrationScheme):
         """
         report = self.report
         src_driver.stop_tracking(TRACKING_NAME)
+        if self._store is not None and self._store.is_open:
+            self._store.complete()  # cancelled on purpose: nothing pending
         if memory_logging and self.domain.memory.logging:
             self.domain.memory.stop_logging()
         yield from self.fwd.send(ControlMsg("migration-aborted"),
@@ -378,6 +422,14 @@ class ThreePhaseMigration(MigrationScheme):
                     bitmap.set_many(pending)
             surviving = bitmap.count()
             keep_vbd = self._dest_vbd_inflight
+        elif (self.source.crashed and self._store is not None
+              and self._store.recoverable):
+            # The crash destroyed the in-memory bitmap, but the persisted
+            # snapshot+journal can rebuild a conservative pending set once
+            # the host restarts — keep the partial destination copy so
+            # that retry is still incremental.
+            keep_vbd = self._dest_vbd_inflight
+            self.report.extra["persisted_bitmap_recoverable"] = True
         self.report.extra["surviving_dirty_blocks"] = int(surviving)
         return keep_vbd
 

@@ -79,6 +79,10 @@ class BlockStreamer:
         #: can report exactly which blocks never landed.
         self._chunks: list[np.ndarray] = []
         self._confirmed = 0
+        #: Called with each chunk's indices right after the destination
+        #: confirms the write — the durable-bitmap hook that lets the
+        #: source journal "these blocks are no longer pending".
+        self.chunk_written = None
 
     def unconfirmed_indices(self) -> np.ndarray:
         """Blocks of the current batch not yet written at the destination.
@@ -141,6 +145,8 @@ class BlockStreamer:
                                                priority=prio)
                 self.dst_vbd.import_blocks(msg.indices, msg.stamps, msg.data)
                 self._confirmed += 1
+                if self.chunk_written is not None:
+                    self.chunk_written(msg.indices)
 
         read_proc = env.process(reader(env), name="stream:read")
         send_proc = env.process(sender(env), name="stream:send")

@@ -69,3 +69,10 @@ class MigrationFailed(MigrationError):
 
 class FaultError(ReproError):
     """Raised for invalid fault-plan specifications."""
+
+
+class PersistError(ReproError):
+    """Raised for invalid durable-bitmap-store operations (corrupt snapshot
+    or journal, unknown format version, session misuse).  Recovery itself
+    never raises for *data loss* — a lost journal tail degrades to
+    conservative over-marking — only for misuse or unrecoverable state."""

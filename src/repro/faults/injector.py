@@ -62,6 +62,12 @@ class LinkFaultState:
     def add_blackout(self, start: float, end: float) -> None:
         self._blackouts.append((float(start), float(end)))
 
+    def end_permanent_blackouts(self, at: float) -> None:
+        """Close every open-ended blackout at ``at`` (host restarted)."""
+        self._blackouts = [
+            (start, float(at) if end == float("inf") else end)
+            for start, end in self._blackouts]
+
     def add_degradation(self, start: float, end: float, factor: float,
                         extra_latency: float) -> None:
         self._degradations.append((float(start), float(end), float(factor),
@@ -296,9 +302,35 @@ class FaultInjector:
     def _apply_crash(self, spec: CrashSpec) -> None:
         host = self._hosts.get(spec.host)
         if host is not None:
-            host.crashed = True
+            if hasattr(host, "crash"):
+                # Full lifecycle: suspend domains, drop in-memory bitmaps,
+                # lose un-flushed journal tails (see Host.crash).
+                host.crash()
+            else:
+                host.crashed = True
         for link in self._host_links.get(spec.host, []):
             self._state_for(link).add_blackout(self.env.now, float("inf"))
         self.log.append((self.env.now, f"crash {spec.host}"))
         self.env.tracer.instant("fault:crash", category="fault",
+                                host=spec.host, down_for=spec.down_for)
+        if spec.down_for is not None:
+            self.env.process(self._restart_later(spec),
+                             name=f"fault:restart:{spec.host}")
+
+    def _restart_later(self, spec: CrashSpec) -> Generator:
+        yield self.env.timeout(spec.down_for)
+        self._apply_restart(spec)
+        return None
+
+    def _apply_restart(self, spec: CrashSpec) -> None:
+        host = self._hosts.get(spec.host)
+        if host is not None:
+            if hasattr(host, "restart"):
+                host.restart()
+            else:
+                host.crashed = False
+        for link in self._host_links.get(spec.host, []):
+            self._state_for(link).end_permanent_blackouts(self.env.now)
+        self.log.append((self.env.now, f"restart {spec.host}"))
+        self.env.tracer.instant("fault:restart", category="fault",
                                 host=spec.host)

@@ -95,17 +95,28 @@ class DegradeSpec:
 
 @dataclass(frozen=True)
 class CrashSpec:
-    """A host failure: the named machine drops off the network for good."""
+    """A host failure.
+
+    With ``down_for=None`` (the default) the machine drops off the
+    network for good; with a positive ``down_for`` it restarts after that
+    many seconds — in-memory state is still lost, but anything persisted
+    to the host's stable storage (see :mod:`repro.persist`) becomes
+    recoverable once it is back up.
+    """
 
     host: str
     at: Optional[float] = None
     phase: Optional[str] = None
     offset: float = 0.0
+    down_for: Optional[float] = None
 
     def __post_init__(self) -> None:
         _check_trigger(self.at, self.phase, self.offset)
         if not self.host:
             raise FaultError("crash needs a host name")
+        if self.down_for is not None and self.down_for <= 0:
+            raise FaultError(
+                f"down_for must be positive when set, got {self.down_for!r}")
 
 
 @dataclass
@@ -149,9 +160,10 @@ class FaultPlan:
         return self
 
     def crash(self, host: str, at: Optional[float] = None,
-              phase: Optional[str] = None, offset: float = 0.0) -> "FaultPlan":
-        """Schedule a permanent host failure."""
-        self.crashes.append(CrashSpec(host, at, phase, offset))
+              phase: Optional[str] = None, offset: float = 0.0,
+              down_for: Optional[float] = None) -> "FaultPlan":
+        """Schedule a host failure (permanent unless ``down_for`` is set)."""
+        self.crashes.append(CrashSpec(host, at, phase, offset, down_for))
         return self
 
     @property

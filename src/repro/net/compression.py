@@ -37,7 +37,14 @@ class Compressor:
             raise NetworkError("compression throughput must be positive")
 
     def wire_nbytes(self, payload_nbytes: int) -> int:
-        """Bytes the payload occupies on the wire after compression."""
+        """Bytes the payload occupies on the wire after compression.
+
+        Nonempty payloads never compress below one byte; an empty payload
+        costs nothing (a ``max(..., 1)`` floor here would charge phantom
+        wire bytes for zero-byte chunks and skew conserved-byte accounting).
+        """
+        if payload_nbytes <= 0:
+            return 0
         return max(int(payload_nbytes / self.ratio), 1)
 
     def compress_time(self, payload_nbytes: int) -> float:

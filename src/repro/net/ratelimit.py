@@ -48,6 +48,11 @@ class TokenBucket:
         if nbytes < 0:
             raise NetworkError(f"negative consume {nbytes}")
         self._refill()
+        if nbytes == 0:
+            # A zero-byte probe always succeeds, even while the bucket is
+            # in debt from a prior blocking consume (tokens < 0 would make
+            # the >= test below spuriously fail).
+            return True
         if self._tokens >= nbytes:
             self._tokens -= nbytes
             self.consumed += nbytes

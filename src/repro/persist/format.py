@@ -1,0 +1,151 @@
+"""Versioned on-"disk" formats for the durable bitmap store.
+
+Two record types, both self-describing and checksummed:
+
+* **Snapshot** — the whole bitmap at one instant: a fixed header (magic,
+  version, flags, bit count, block granularity, journal sequence) followed
+  by the packed words (:meth:`~repro.bitmap.flat.FlatBitmap.pack`) and a
+  trailing CRC-32 over everything before it.  The ``clean`` flag mirrors
+  QEMU's persistent dirty-bitmap "in use" bit inverted: a snapshot written
+  at an orderly close is *clean*; one written while a session is live is
+  not, and a recovery that finds it must assume the journal tail may be
+  missing.
+
+* **Journal record** — one set/clear batch appended between snapshots:
+  magic, sequence number, opcode, index count, the ``int64`` indices, and
+  a trailing CRC-32.  Records are strictly sequenced so recovery can
+  detect a gap (lost or torn record) and stop replaying at exactly the
+  last intact prefix.
+
+The guard-region area (see :class:`~repro.persist.store.BitmapStore`)
+reuses the snapshot format with one bit per region.
+
+Everything is plain ``struct`` + ``zlib.crc32`` + NumPy — deliberately
+dependency-free and byte-stable so the property tests can corrupt
+arbitrary bytes and assert the codecs never mis-decode silently.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..errors import PersistError
+from ..units import BLOCK_SIZE
+
+#: Snapshot area magic ("Repro BitMap Snapshot").
+SNAPSHOT_MAGIC = b"RBMS"
+#: Journal record magic ("Repro BitMap Journal").
+JOURNAL_MAGIC = b"RBMJ"
+#: Current format version; decoders reject anything newer.
+FORMAT_VERSION = 1
+
+#: Journal opcodes.
+OP_SET = 1
+OP_CLEAR = 2
+
+#: Snapshot flag bits.
+FLAG_CLEAN = 0x1
+
+_SNAP_HEADER = struct.Struct("<HHQQQ")   # version, flags, nbits, gran, seq
+_REC_HEADER = struct.Struct("<QBI")      # seq, op, count
+_CRC = struct.Struct("<I")
+
+
+def _crc32(*parts: bytes) -> int:
+    acc = 0
+    for part in parts:
+        acc = zlib.crc32(part, acc)
+    return acc & 0xFFFFFFFF
+
+
+# -- snapshots ---------------------------------------------------------------
+
+def encode_snapshot(bits: np.ndarray, seq: int, clean: bool = False,
+                    granularity: int = BLOCK_SIZE) -> bytes:
+    """Serialize a dense boolean bitmap into the snapshot format."""
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 1 or bits.size == 0:
+        raise PersistError(f"snapshot needs a 1-D non-empty bitmap, "
+                           f"got shape {bits.shape}")
+    if seq < 0:
+        raise PersistError(f"snapshot sequence cannot be negative: {seq}")
+    flags = FLAG_CLEAN if clean else 0
+    header = SNAPSHOT_MAGIC + _SNAP_HEADER.pack(
+        FORMAT_VERSION, flags, bits.size, int(granularity), int(seq))
+    payload = np.packbits(bits).tobytes()
+    return header + payload + _CRC.pack(_crc32(header, payload))
+
+
+def decode_snapshot(data: bytes) -> tuple[np.ndarray, int, bool, int]:
+    """Parse a snapshot; returns ``(bits, seq, clean, granularity)``.
+
+    Raises :class:`~repro.errors.PersistError` on any damage — bad magic,
+    unknown version, truncation, or checksum mismatch.  Callers treat that
+    as "snapshot unusable" and fall back to conservative all-dirty.
+    """
+    head_len = 4 + _SNAP_HEADER.size
+    if len(data) < head_len + _CRC.size:
+        raise PersistError(f"snapshot truncated: {len(data)} bytes")
+    if data[:4] != SNAPSHOT_MAGIC:
+        raise PersistError(f"bad snapshot magic {data[:4]!r}")
+    version, flags, nbits, granularity, seq = _SNAP_HEADER.unpack(
+        data[4:head_len])
+    if version > FORMAT_VERSION:
+        raise PersistError(f"snapshot format v{version} is newer than "
+                           f"supported v{FORMAT_VERSION}")
+    npacked = (nbits + 7) // 8
+    expected_len = head_len + npacked + _CRC.size
+    if len(data) != expected_len:
+        raise PersistError(f"snapshot length {len(data)} != expected "
+                           f"{expected_len} for {nbits} bits")
+    payload = data[head_len:head_len + npacked]
+    (crc,) = _CRC.unpack(data[-_CRC.size:])
+    if crc != _crc32(data[:head_len], payload):
+        raise PersistError("snapshot checksum mismatch")
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8),
+                         count=nbits).astype(bool)
+    return bits, int(seq), bool(flags & FLAG_CLEAN), int(granularity)
+
+
+# -- journal records ---------------------------------------------------------
+
+def encode_record(seq: int, op: int, indices: np.ndarray) -> bytes:
+    """Serialize one set/clear batch as a journal record."""
+    if op not in (OP_SET, OP_CLEAR):
+        raise PersistError(f"unknown journal opcode {op}")
+    if seq < 0:
+        raise PersistError(f"record sequence cannot be negative: {seq}")
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    body = (JOURNAL_MAGIC
+            + _REC_HEADER.pack(int(seq), op, indices.size)
+            + indices.tobytes())
+    return body + _CRC.pack(_crc32(body))
+
+
+def decode_record(data: bytes) -> tuple[int, int, np.ndarray]:
+    """Parse one journal record; returns ``(seq, op, indices)``.
+
+    Raises :class:`~repro.errors.PersistError` on damage.  During recovery
+    a damaged record ends the intact prefix — nothing after it is trusted.
+    """
+    head_len = 4 + _REC_HEADER.size
+    if len(data) < head_len + _CRC.size:
+        raise PersistError(f"journal record truncated: {len(data)} bytes")
+    if data[:4] != JOURNAL_MAGIC:
+        raise PersistError(f"bad journal magic {data[:4]!r}")
+    seq, op, count = _REC_HEADER.unpack(data[4:head_len])
+    if op not in (OP_SET, OP_CLEAR):
+        raise PersistError(f"unknown journal opcode {op}")
+    expected_len = head_len + count * 8 + _CRC.size
+    if len(data) != expected_len:
+        raise PersistError(f"journal record length {len(data)} != expected "
+                           f"{expected_len} for {count} indices")
+    (crc,) = _CRC.unpack(data[-_CRC.size:])
+    if crc != _crc32(data[:-_CRC.size]):
+        raise PersistError("journal record checksum mismatch")
+    indices = np.frombuffer(data, dtype=np.int64, count=count,
+                            offset=head_len).copy()
+    return int(seq), int(op), indices

@@ -56,6 +56,10 @@ class BackendDriver:
         #: Extra simulated latency charged per tracked write operation — the
         #: cost of marking the bitmap (Table III's overhead, normally ~0).
         self.tracking_op_overhead = float(tracking_op_overhead)
+        #: Set while the host is crashed: in-flight requests are discarded
+        #: instead of applied (a dead host completes no I/O), which keeps a
+        #: write racing the crash from dirtying state nobody tracks.
+        self.crashed = False
         #: Counters.
         self.reads = 0
         self.writes = 0
@@ -104,6 +108,15 @@ class BackendDriver:
     def has_tracking(self, name: str) -> bool:
         """True when a bitmap is registered under ``name``."""
         return name in self._tracking
+
+    def tracking_names(self) -> list[str]:
+        """Names of all registered tracking bitmaps."""
+        return sorted(self._tracking)
+
+    def drop_tracking(self) -> None:
+        """Discard every tracking bitmap (a host crash loses in-memory
+        state; durable stores are what recovery reads instead)."""
+        self._tracking.clear()
 
     @property
     def is_tracking(self) -> bool:
@@ -213,6 +226,8 @@ class BackendDriver:
         Split out so the post-copy path can perform the disk timing itself
         (e.g. after a pulled block arrives) and then apply.
         """
+        if self.crashed:
+            return
         for observer in self.request_observers:
             observer(request)
         if request.kind is IOKind.WRITE:

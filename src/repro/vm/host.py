@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import MigrationError
+from ..persist.store import BitmapStore
 from ..storage.blkback import BackendDriver
 from ..storage.disk import PhysicalDisk
 from ..storage.vbd import GenerationClock, VirtualBlockDevice
@@ -43,6 +44,15 @@ class Host:
         #: Set by the fault injector when this machine dies; a migration
         #: touching a crashed host fails immediately.
         self.crashed = False
+        #: Durable bitmap stores on this host's stable storage, keyed by
+        #: ``(domain_id, purpose)`` — purpose ``"precopy"`` holds the
+        #: migration tracking bitmap, ``"backup"`` a backup chain's.
+        self._bitmap_stores: dict[tuple[int, str], BitmapStore] = {}
+        #: Domains that were running when the host crashed (resumed on
+        #: restart; domains suspended for other reasons stay suspended).
+        self._suspended_at_crash: set[int] = set()
+        #: Events fired when the host comes back up.
+        self._restart_waiters: list = []
 
     # -- storage provisioning ------------------------------------------------
 
@@ -121,6 +131,112 @@ class Host:
     @property
     def domains(self) -> list[Domain]:
         return list(self._domains.values())
+
+    # -- durable bitmap stores -------------------------------------------
+
+    def bitmap_store(
+        self,
+        domain_id: int,
+        purpose: str = "precopy",
+        nbits: Optional[int] = None,
+        policy: str = "wal",
+        flush_every: int = 64,
+        region_bits: int = 4096,
+        snapshot_every: int = 4096,
+    ) -> BitmapStore:
+        """The durable bitmap store for ``(domain_id, purpose)`` on this
+        host's stable storage, created on first use.
+
+        An existing store is returned as-is (its policy knobs are fixed at
+        creation): the store *is* the persisted state, so a restarted host
+        finds the pre-crash instance here and recovers from it.
+        """
+        key = (domain_id, purpose)
+        store = self._bitmap_stores.get(key)
+        if store is None:
+            if nbits is None:
+                nbits = self.vbd_of(domain_id).nblocks
+            store = BitmapStore(nbits, policy=policy,
+                                flush_every=flush_every,
+                                region_bits=region_bits,
+                                snapshot_every=snapshot_every)
+            self._bitmap_stores[key] = store
+        return store
+
+    def has_recoverable_bitmap(self, domain_id: int,
+                               purpose: str = "precopy") -> bool:
+        store = self._bitmap_stores.get((domain_id, purpose))
+        return store is not None and store.recoverable
+
+    # -- crash / restart lifecycle ---------------------------------------
+
+    def crash(self) -> None:
+        """This machine dies: every in-memory structure is lost.
+
+        Running domains stop (remembered so :meth:`restart` can bring
+        exactly those back), backend drivers discard their tracking
+        bitmaps and any in-flight I/O, and each durable bitmap store loses
+        its un-flushed journal tail — the persisted prefix is all a later
+        recovery may read.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for domain in self._domains.values():
+            if domain.running:
+                domain.suspend()
+                self._suspended_at_crash.add(domain.domain_id)
+        for driver in self._drivers.values():
+            driver.crashed = True
+            driver.drop_tracking()
+        for store in self._bitmap_stores.values():
+            store.crash()
+
+    def restart(self) -> None:
+        """Bring a crashed machine back up.
+
+        Stores with recoverable pre-copy sessions are recovered into fresh
+        tracking bitmaps (registered under the pre-copy tracking name, so
+        a retry finds a *surviving* bitmap and resumes incrementally —
+        §V's mechanism, now crash-proof).  Domains the crash stopped are
+        resumed; anything suspended for other reasons stays down.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        for driver in self._drivers.values():
+            driver.crashed = False
+        # Late import: core imports vm, not the other way around.
+        from ..core.precopy import TRACKING_NAME
+        from ..persist.tracked import PersistentBitmap
+
+        for (domain_id, purpose), store in self._bitmap_stores.items():
+            if purpose != "precopy" or not store.recoverable:
+                continue
+            if domain_id not in self._drivers:
+                continue  # domain moved away; its chain recovers itself
+            recovered, _info = store.recover()
+            driver = self._drivers[domain_id]
+            wrapper = PersistentBitmap(recovered, store, recovered=True)
+            if driver.has_tracking(TRACKING_NAME):
+                driver.swap_tracking(TRACKING_NAME, wrapper)
+            else:
+                driver.start_tracking(TRACKING_NAME, wrapper)
+        suspended, self._suspended_at_crash = self._suspended_at_crash, set()
+        for domain_id in suspended:
+            domain = self._domains.get(domain_id)
+            if domain is not None and not domain.running:
+                domain.resume()
+        waiters, self._restart_waiters = self._restart_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_until_up(self):
+        """``yield from`` inside a process: returns once the host is up."""
+        while self.crashed:
+            event = self.env.event()
+            self._restart_waiters.append(event)
+            yield event
 
     def __repr__(self) -> str:
         return f"<Host {self.name!r} domains={sorted(self._domains)}>"

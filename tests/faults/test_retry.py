@@ -135,6 +135,30 @@ class TestRetry:
             MigrationRetrier(bed.migrator, initial_backoff=-1.0)
         with pytest.raises(MigrationError):
             MigrationRetrier(bed.migrator, backoff_factor=0.5)
+        with pytest.raises(MigrationError):
+            MigrationRetrier(bed.migrator, max_backoff=0.0)
+        with pytest.raises(MigrationError):
+            MigrationRetrier(bed.migrator, max_backoff=-1.0)
+
+    def test_backoff_is_capped_at_max_backoff(self, make_bed):
+        """Regression: the delay used to grow unboundedly (0.5 * 2**k).
+        With factor 10 and cap 2.0 the waits must be 1.0 + 2.0, not
+        1.0 + 10.0."""
+        bed = make_bed()
+        bed.random_writer(region=(0, 300), interval=0.005, seed=11)
+        # The blackout spans the first two attempts; only the third
+        # (entered after 1.0 + 2.0 s of backoff) finds the link up.
+        FaultInjector(bed.env,
+                      failing_plan(at=0.02, duration=2.0)).inject(
+            bed.migrator)
+        retrier = MigrationRetrier(bed.migrator, max_attempts=5,
+                                   initial_backoff=1.0, backoff_factor=10.0,
+                                   max_backoff=2.0)
+        proc = retrier.migrate_process(bed.domain, bed.destination)
+        report = bed.env.run(until=proc)
+        assert report.attempts == 3
+        assert report.backoff_time == pytest.approx(3.0)
+        assert report.consistency_verified
 
 
 class TestZeroCost:

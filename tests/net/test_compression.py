@@ -26,6 +26,13 @@ class TestCompressor:
         assert comp.wire_nbytes(4096) == 1024
         assert comp.wire_nbytes(1) == 1  # never below one byte
 
+    def test_empty_payload_costs_nothing_on_the_wire(self):
+        # Regression: the one-byte floor used to apply to empty payloads
+        # too, inventing a phantom wire byte per zero-length message.
+        comp = Compressor(ratio=4.0)
+        assert comp.wire_nbytes(0) == 0
+        assert comp.wire_nbytes(1) == 1  # the floor still holds above zero
+
     def test_cpu_times(self):
         comp = Compressor(ratio=2.0, compress_throughput=100 * MiB,
                           decompress_throughput=200 * MiB)

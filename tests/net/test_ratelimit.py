@@ -64,6 +64,15 @@ class TestTokenBucket:
         assert order[1][0] == "b"
         assert order[1][1] >= order[0][1]
 
+    def test_zero_byte_probe_succeeds_even_in_debt(self, env):
+        # Regression: try_consume(0) used to report False whenever the
+        # bucket was empty, even though zero bytes always fit.
+        bucket = TokenBucket(env, rate=10, burst=50)
+        assert bucket.try_consume(50)      # drain the bucket completely
+        assert not bucket.try_consume(1)
+        assert bucket.try_consume(0)
+        assert bucket.consumed == 50       # the probe charged nothing
+
     def test_invalid_parameters(self, env):
         with pytest.raises(NetworkError):
             TokenBucket(env, rate=0)

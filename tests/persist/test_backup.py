@@ -1,0 +1,161 @@
+"""Backup chains: full + bitmap-driven incrementals, restore, crash
+recovery of the tracking bitmap, and carry-across-migration."""
+
+import pytest
+
+from repro.errors import PersistError
+from repro.persist import BackupChain, backup_tracking_name
+
+
+def write_blocks(bed, blocks):
+    """Run guest writes (through the driver, so tracking bitmaps see them)."""
+    domain = bed.domain
+
+    def proc(env):
+        for block in blocks:
+            yield from domain.ensure_running()
+            yield from domain.write(int(block), 1)
+
+    bed.env.run(until=bed.env.process(proc(bed.env), name="backup-writer"))
+
+
+def live_vbd(bed):
+    return bed.domain.host.vbd_of(bed.domain.domain_id)
+
+
+class TestChainBasics:
+    def test_full_then_incremental_capture_the_right_blocks(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        full = chain.full_backup()
+        assert full.kind == "full"
+        assert full.nblocks == 256          # prefilled: everything allocated
+        assert chain.pending_blocks() == 0
+
+        write_blocks(byte_bed, [3, 7, 7])
+        assert chain.pending_blocks() == 2
+        inc = chain.incremental_backup()
+        assert inc.kind == "incremental"
+        assert set(inc.indices.tolist()) == {3, 7}
+        assert chain.pending_blocks() == 0
+
+    def test_incremental_before_full_raises(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        with pytest.raises(PersistError, match="before the first full"):
+            chain.incremental_backup()
+
+    def test_tracking_bitmap_is_registered_with_the_driver(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        driver = byte_bed.source.driver_of(byte_bed.domain.domain_id)
+        name = backup_tracking_name(byte_bed.domain.domain_id)
+        assert chain.tracking_name == name
+        assert driver.has_tracking(name)
+        chain.close()
+        assert not driver.has_tracking(name)
+        assert not chain.store.is_open
+
+    def test_nbytes_accounting(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        full = chain.full_backup()
+        assert full.nbytes == full.nblocks * chain.block_size
+        assert chain.total_backup_bytes() == full.nbytes
+
+
+class TestRestore:
+    def test_restore_matches_live_disk(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        chain.full_backup()
+        write_blocks(byte_bed, [0, 10, 255])
+        chain.incremental_backup()
+        assert chain.restore().identical_to(live_vbd(byte_bed))
+
+    def test_point_in_time_restore(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        chain.full_backup()
+        write_blocks(byte_bed, [5])
+        chain.incremental_backup()       # record 1
+        write_blocks(byte_bed, [9])
+        chain.incremental_backup()       # record 2
+
+        old = chain.restore(upto=1)
+        live = live_vbd(byte_bed)
+        assert not old.identical_to(live)
+        assert 9 in old.diff_blocks(live).tolist()
+        assert chain.restore().identical_to(live)
+
+    def test_restore_anchors_at_latest_full(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        chain.full_backup()
+        write_blocks(byte_bed, [1])
+        chain.incremental_backup()
+        second_full = chain.full_backup()
+        assert chain.restore().identical_to(live_vbd(byte_bed))
+        assert second_full.seq == 2
+
+    def test_restore_without_full_in_range_raises(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        with pytest.raises(PersistError, match="no full backup"):
+            chain.restore()
+
+
+class TestAcrossMigration:
+    def test_chain_keeps_accumulating_across_migration(self, byte_bed):
+        """The tp-qemu backup-with-migration scenario: deltas recorded on
+        the source and on the destination land in one incremental."""
+        chain = BackupChain(byte_bed.domain)
+        chain.full_backup()
+        write_blocks(byte_bed, [1, 2])
+
+        report = byte_bed.migrate()
+        assert report.consistency_verified
+        assert byte_bed.domain.host is byte_bed.destination
+
+        dest_driver = byte_bed.destination.driver_of(
+            byte_bed.domain.domain_id)
+        assert dest_driver.has_tracking(chain.tracking_name)
+
+        write_blocks(byte_bed, [3, 4])
+        inc = chain.incremental_backup()
+        assert {1, 2, 3, 4} <= set(inc.indices.tolist())
+        assert chain.restore().identical_to(live_vbd(byte_bed))
+
+
+class TestCrashRecovery:
+    def test_recover_tracking_after_host_crash(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        chain.full_backup()
+        write_blocks(byte_bed, [10, 11])
+
+        byte_bed.source.crash()
+        byte_bed.source.restart()
+        assert byte_bed.domain.running     # crash-suspended, then resumed
+
+        info = chain.recover_tracking()
+        assert info.pending_blocks >= 2
+        assert chain.bitmap.recovered
+        assert {10, 11} <= set(chain.bitmap.dirty_indices().tolist())
+
+        inc = chain.incremental_backup()
+        assert inc.recovered               # flagged: may over-approximate
+        assert {10, 11} <= set(inc.indices.tolist())
+        assert not chain.bitmap.recovered  # flag consumed by the backup
+        assert chain.restore().identical_to(live_vbd(byte_bed))
+
+    def test_recover_tracking_requires_recoverable_store(self, byte_bed):
+        chain = BackupChain(byte_bed.domain)
+        chain.close()                      # clean: nothing to recover
+        with pytest.raises(PersistError, match="nothing to recover"):
+            chain.recover_tracking()
+
+    def test_recovery_never_undermarks_with_lazy_policy(self, byte_bed):
+        chain = BackupChain(byte_bed.domain, policy="snapshot",
+                            region_bits=16)
+        chain.full_backup()
+        write_blocks(byte_bed, [40, 41, 200])
+        byte_bed.source.crash()            # staged journal tail lost
+        byte_bed.source.restart()
+        chain.recover_tracking()
+        # Guard regions over-mark, never under-mark.
+        assert {40, 41, 200} <= set(chain.bitmap.dirty_indices().tolist())
+        inc = chain.incremental_backup()
+        assert chain.restore().identical_to(live_vbd(byte_bed))
+        assert inc.nblocks >= 3

@@ -1,0 +1,114 @@
+"""Unit tests for the snapshot / journal-record codecs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PersistError
+from repro.persist import decode_record, decode_snapshot, encode_record, \
+    encode_snapshot
+from repro.persist.format import FLAG_CLEAN, FORMAT_VERSION, OP_CLEAR, OP_SET
+
+
+class TestSnapshotCodec:
+    def test_round_trip(self):
+        bits = np.zeros(257, dtype=bool)  # deliberately not byte-aligned
+        bits[[0, 7, 8, 100, 256]] = True
+        out, seq, clean, gran = decode_snapshot(
+            encode_snapshot(bits, seq=42, clean=False, granularity=512))
+        assert np.array_equal(out, bits)
+        assert seq == 42
+        assert clean is False
+        assert gran == 512
+
+    def test_clean_flag_round_trips(self):
+        bits = np.zeros(8, dtype=bool)
+        _, _, clean, _ = decode_snapshot(encode_snapshot(bits, 0, clean=True))
+        assert clean is True
+
+    def test_empty_and_full_bitmaps(self):
+        for bits in (np.zeros(100, dtype=bool), np.ones(100, dtype=bool)):
+            out, _, _, _ = decode_snapshot(encode_snapshot(bits, 0))
+            assert np.array_equal(out, bits)
+
+    def test_rejects_bad_magic(self):
+        data = encode_snapshot(np.ones(16, dtype=bool), 0)
+        with pytest.raises(PersistError, match="magic"):
+            decode_snapshot(b"XXXX" + data[4:])
+
+    def test_rejects_newer_version(self):
+        data = bytearray(encode_snapshot(np.ones(16, dtype=bool), 0))
+        data[4] = FORMAT_VERSION + 1  # little-endian version field
+        with pytest.raises(PersistError, match="newer"):
+            decode_snapshot(bytes(data))
+
+    def test_rejects_truncation(self):
+        data = encode_snapshot(np.ones(64, dtype=bool), 0)
+        for cut in (0, 4, len(data) - 1):
+            with pytest.raises(PersistError):
+                decode_snapshot(data[:cut])
+
+    def test_rejects_any_flipped_byte(self):
+        bits = np.zeros(128, dtype=bool)
+        bits[[3, 64, 127]] = True
+        data = encode_snapshot(bits, seq=7)
+        for offset in range(len(data)):
+            damaged = bytearray(data)
+            damaged[offset] ^= 0xFF
+            with pytest.raises(PersistError):
+                decode_snapshot(bytes(damaged))
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(PersistError):
+            encode_snapshot(np.empty(0, dtype=bool), 0)
+        with pytest.raises(PersistError):
+            encode_snapshot(np.ones(8, dtype=bool), seq=-1)
+
+    def test_flag_clean_is_bit_zero(self):
+        # The flag layout is part of the on-disk format contract.
+        assert FLAG_CLEAN == 0x1
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        indices = np.array([0, 5, 1999], dtype=np.int64)
+        seq, op, out = decode_record(encode_record(9, OP_SET, indices))
+        assert (seq, op) == (9, OP_SET)
+        assert np.array_equal(out, indices)
+
+    def test_empty_batch_round_trips(self):
+        seq, op, out = decode_record(
+            encode_record(0, OP_CLEAR, np.empty(0, dtype=np.int64)))
+        assert (seq, op) == (0, OP_CLEAR)
+        assert out.size == 0
+
+    def test_decoded_indices_are_writable(self):
+        out = decode_record(encode_record(0, OP_SET,
+                                          np.arange(4, dtype=np.int64)))[2]
+        out[0] = 99  # must be a copy, not a frombuffer view
+        assert out[0] == 99
+
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(PersistError, match="opcode"):
+            encode_record(0, 99, np.empty(0, dtype=np.int64))
+        data = bytearray(encode_record(0, OP_SET,
+                                       np.empty(0, dtype=np.int64)))
+        data[12] = 99  # opcode byte, after magic + 8-byte seq
+        with pytest.raises(PersistError):
+            decode_record(bytes(data))
+
+    def test_rejects_any_flipped_byte(self):
+        data = encode_record(3, OP_SET, np.array([1, 2, 3], dtype=np.int64))
+        for offset in range(len(data)):
+            damaged = bytearray(data)
+            damaged[offset] ^= 0xFF
+            with pytest.raises(PersistError):
+                decode_record(bytes(damaged))
+
+    def test_rejects_truncation(self):
+        data = encode_record(0, OP_SET, np.arange(10, dtype=np.int64))
+        with pytest.raises(PersistError):
+            decode_record(data[:-3])
+
+    def test_rejects_negative_sequence(self):
+        with pytest.raises(PersistError):
+            encode_record(-1, OP_SET, np.empty(0, dtype=np.int64))

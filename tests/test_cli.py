@@ -57,6 +57,21 @@ class TestCommands:
                      "idle", "--dwell", "2", *self.SMALL]) == 0
         assert "residual dependency" in capsys.readouterr().out
 
+    def test_backup_chain(self, capsys):
+        assert main(["backup", "--workload", "idle", "--increments", "2",
+                     "--interval", "2", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "full backup" in out
+        assert "restore verified: CONSISTENT" in out
+
+    def test_backup_with_mid_chain_migration(self, capsys):
+        assert main(["backup", "--workload", "specweb", "--increments", "2",
+                     "--interval", "2", "--migrate-between",
+                     *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "live-migrated mid-chain" in out
+        assert "restore verified: CONSISTENT" in out
+
     def test_table1(self, capsys):
         assert main(["table1", "--workload", "video", *self.SMALL]) == 0
         out = capsys.readouterr().out
