@@ -13,6 +13,10 @@ clock varies run to run, which is why the runner takes best-of-N.
 * ``evacuate_32vm`` — a 32-VM host evacuation through the cluster
   scheduler: the ROADMAP-scale stress case that motivated the hot-path
   overhaul.
+* ``transfer_stack`` — the bonnie Table-I migration with the adaptive
+  transfer stack fully enabled (delta cache + multifd + auto-converge),
+  guarding the overhead of the opt-in fast paths in
+  :mod:`repro.core.transfer`.
 """
 
 from __future__ import annotations
@@ -92,9 +96,33 @@ def evacuate_32vm(smoke: bool = False) -> dict:
                    mean_downtime=stats["mean_downtime"])
 
 
+def transfer_stack(smoke: bool = False) -> dict:
+    """Wall-clock for a Table-I bonnie migration with the full adaptive
+    transfer stack on (delta cache + 4x multifd + auto-converge)."""
+    from repro.analysis.experiments import FULL_DISK_BLOCKS, build_testbed
+    from repro.core import MigrationConfig
+    from repro.units import MiB
+
+    scale = 0.005 if smoke else 0.02
+    cache_mb = max(int(FULL_DISK_BLOCKS * scale), 256) * 4096 / MiB
+    cfg = MigrationConfig(delta_cache_mb=cache_mb, multifd_channels=4,
+                          auto_converge=True)
+    start = perf_counter()
+    bed = build_testbed("bonnie", scale=scale, config=cfg)
+    bed.start_workload()
+    bed.run_for(20.0)
+    report = bed.migrate()
+    wall = perf_counter() - start
+    return _result(wall, bed.env.events_processed, bed.env.now,
+                   scale=scale, migrated_bytes=report.migrated_bytes,
+                   total_migration_time=report.total_migration_time,
+                   delta_hits=report.extra["delta_disk"]["hits"])
+
+
 #: Name -> callable(smoke) for the runner; insertion order is run order.
 SCENARIOS = {
     "engine": engine,
     "table1_tpm": table1_tpm,
     "evacuate_32vm": evacuate_32vm,
+    "transfer_stack": transfer_stack,
 }

@@ -19,6 +19,7 @@ Typical use::
 """
 
 from .config import MigrationConfig
+from .converge import AutoConvergeController
 from .manager import MigrationRetrier, Migrator
 from .memcopy import MemoryPreCopier
 from .metrics import IterationStats, MigrationReport, PostCopyStats
@@ -30,6 +31,7 @@ from .tpm import IM_TRACKING_NAME, ThreePhaseMigration
 from .transfer import BlockStreamer, PageStreamer, StreamStats
 
 __all__ = [
+    "AutoConvergeController",
     "BlockStreamer",
     "DiskPreCopier",
     "IM_TRACKING_NAME",

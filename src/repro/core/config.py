@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import MigrationError
-from ..units import BLOCK_SIZE
+from ..units import BLOCK_SIZE, MiB
 
 
 @dataclass
@@ -81,6 +81,52 @@ class MigrationConfig:
     #: Compression ratio assumed for guest data (2:1 is typical for
     #: lz4/lzo-class codecs on mixed OS images).
     compression_ratio: float = 2.0
+    #: Per-payload-kind compression ratios, keyed by the channel send
+    #: category (``"disk"``, ``"memory"``, ...).  Kinds not listed fall
+    #: back to :attr:`compression_ratio`.  Memory pages (zero-heavy) and
+    #: delta-encoded disk chunks (already dense) compress very differently
+    #: from raw disk blocks; None keeps the single-ratio behaviour.
+    compression_ratios: Optional[dict] = None
+
+    # -- adaptive transfer stack (ROADMAP item 2; all default OFF so the
+    # -- default simulation stays bit-identical) ---------------------------
+    #: XBZRLE-style delta compression: size in MiB of the bounded LRU
+    #: cache of previously-sent block/page contents kept on the source.
+    #: A re-send whose previous contents are still cached ships only the
+    #: changed bytes (``1/delta_ratio`` of the unit); a miss or an entry
+    #: evicted on overflow falls back to a full send.  ``0`` disables the
+    #: cache entirely (the default).  See docs/TRANSFER.md.
+    delta_cache_mb: float = 0.0
+    #: Achieved delta-encoding ratio on a cache hit (full unit bytes over
+    #: encoded bytes).  XBZRLE on sparsely-rewritten pages routinely
+    #: reaches high single digits.
+    delta_ratio: float = 8.0
+    #: Sender CPU throughput of the delta encoder in bytes/s (the encoder
+    #: scans old+new contents of every *hit* unit).
+    delta_throughput: float = 800 * MiB
+    #: Number of parallel sub-channels the bulk streamers stripe chunks
+    #: across (QEMU multifd).  All sub-channels share the migration link,
+    #: rate limiter, and compressor; ``1`` (the default) keeps the single
+    #: pipelined channel.  See docs/TRANSFER.md for ordering guarantees.
+    multifd_channels: int = 1
+    #: Auto-converge: when a disk pre-copy iteration's dirty rate exceeds
+    #: ``dirty_rate_stop_fraction`` of its transfer rate, throttle the
+    #: guest's writes in steps (scaling each write's in-guest duration)
+    #: instead of proactively giving up, until the pre-copy converges or
+    #: the throttle maxes out.  Off by default.
+    auto_converge: bool = False
+    #: First write-throttle factor applied (1.0 = unthrottled; 2.0 makes
+    #: every guest write take twice as long end-to-end).
+    auto_converge_start: float = 2.0
+    #: Additive factor increment per further escalation step.
+    auto_converge_step: float = 2.0
+    #: Ceiling on the throttle factor (QEMU caps its CPU throttle at 99%;
+    #: a factor of 16 is a comparable ~94% write-rate reduction).
+    auto_converge_max_factor: float = 16.0
+    #: Iteration cap replacing ``max_disk_iterations`` while auto-converge
+    #: is active — throttling needs room to bite, but the pre-copy must
+    #: still terminate in bounded rounds.
+    auto_converge_max_iterations: int = 30
 
     # -- post-copy -------------------------------------------------------
     #: Blocks per push batch.  Small batches keep pulled blocks from
@@ -163,6 +209,28 @@ class MigrationConfig:
             raise MigrationError("rate_limit must be positive when set")
         if self.compression_ratio < 1.0:
             raise MigrationError("compression_ratio must be >= 1")
+        if self.compression_ratios is not None:
+            for kind, ratio in self.compression_ratios.items():
+                if ratio < 1.0:
+                    raise MigrationError(
+                        f"compression ratio for {kind!r} must be >= 1")
+        if self.delta_cache_mb < 0:
+            raise MigrationError("delta_cache_mb cannot be negative")
+        if self.delta_ratio < 1.0:
+            raise MigrationError("delta_ratio must be >= 1")
+        if self.delta_throughput <= 0:
+            raise MigrationError("delta_throughput must be positive")
+        if self.multifd_channels < 1:
+            raise MigrationError("multifd_channels must be >= 1")
+        if self.auto_converge_start <= 1.0:
+            raise MigrationError("auto_converge_start must exceed 1.0")
+        if self.auto_converge_step <= 0:
+            raise MigrationError("auto_converge_step must be positive")
+        if self.auto_converge_max_factor < self.auto_converge_start:
+            raise MigrationError(
+                "auto_converge_max_factor must be >= auto_converge_start")
+        if self.auto_converge_max_iterations < 1:
+            raise MigrationError("auto_converge_max_iterations must be >= 1")
         if self.push_chunk_blocks < 1:
             raise MigrationError("push_chunk_blocks must be >= 1")
         if self.max_mem_rounds < 1:

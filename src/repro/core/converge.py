@@ -1,0 +1,108 @@
+"""Auto-converge: guest write throttling when pre-copy cannot keep up.
+
+The paper's proactive stop (§IV-A-1) gives up on iterating the moment the
+storage dirty rate outruns the achieved transfer rate and hands the
+remainder to post-copy.  Production hypervisors have a second answer:
+QEMU's *auto-converge* throttles the guest's CPU in steps, shrinking the
+dirty rate until the pre-copy converges.  This controller models that
+loop for the diabolical (Bonnie++-class) workloads that otherwise never
+converge:
+
+* **Observation point** — the end of every disk pre-copy iteration, with
+  that iteration's :class:`~repro.core.metrics.IterationStats` (the same
+  dirty-rate/transfer-rate numbers the proactive stop reads).
+* **Trigger** — ``dirty_rate > dirty_rate_stop_fraction * transfer_rate``
+  (the exact condition that would otherwise stop the pre-copy).
+* **Actuation** — the domain's :attr:`~repro.vm.domain.Domain.write_throttle`
+  factor: every guest *write* is stretched to ``factor ×`` its unthrottled
+  duration, scaling a closed-loop writer's inter-write delay and hence its
+  dirty rate by ``~1/factor``.  Reads and memory touches are untouched
+  (the disk dirty rate is what blocks convergence here).
+* **Escalation** — first step jumps to ``auto_converge_start``, each
+  further trigger adds ``auto_converge_step``, capped at
+  ``auto_converge_max_factor``.  Once capped, the controller stops
+  escalating and the normal stop conditions (including the proactive
+  stop) terminate the pre-copy — rounds stay bounded either way via
+  ``auto_converge_max_iterations``.
+* **Release** — the throttle is dropped at freeze (the guest suspends
+  anyway, and it must resume unthrottled on the destination) and on every
+  abort/failure path.
+
+Every step is recorded (time, factor) and surfaced in
+``report.extra["auto_converge_*"]`` plus the ``autoconverge.throttle``
+gauge.  Off by default (``MigrationConfig.auto_converge=False``): no
+controller is constructed, no throttle branch is ever taken, and the
+simulation is bit-identical to the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .config import MigrationConfig
+from .metrics import IterationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+    from ..vm.domain import Domain
+
+
+class AutoConvergeController:
+    """Steps up guest write throttling until the pre-copy converges."""
+
+    def __init__(self, env: "Environment", domain: "Domain",
+                 config: MigrationConfig) -> None:
+        self.env = env
+        self.domain = domain
+        self.config = config
+        #: Current throttle factor (1.0 = unthrottled).
+        self.factor = 1.0
+        #: Escalation log: (simulated time, factor) per step taken.
+        self.steps: list[tuple[float, float]] = []
+
+    @property
+    def maxed(self) -> bool:
+        """True once the throttle cannot be tightened further."""
+        return self.factor >= self.config.auto_converge_max_factor
+
+    def observe(self, record: IterationStats) -> bool:
+        """Inspect one finished iteration; returns True if it escalated.
+
+        Escalates exactly when the proactive-stop condition holds — the
+        iteration dirtied faster than ``dirty_rate_stop_fraction`` of what
+        it transferred — and the throttle still has headroom.
+        """
+        cfg = self.config
+        if record.duration <= 0:
+            return False
+        if (record.dirty_rate
+                <= cfg.dirty_rate_stop_fraction * record.transfer_rate):
+            return False
+        if self.maxed:
+            return False
+        if self.factor <= 1.0:
+            self.factor = cfg.auto_converge_start
+        else:
+            self.factor = min(self.factor + cfg.auto_converge_step,
+                              cfg.auto_converge_max_factor)
+        self.domain.write_throttle = self.factor
+        self.steps.append((self.env.now, self.factor))
+        self.env.metrics.gauge("autoconverge.throttle").set(self.factor)
+        self.env.tracer.instant("autoconverge:step", category="migration",
+                                factor=self.factor,
+                                dirty_rate=record.dirty_rate,
+                                transfer_rate=record.transfer_rate)
+        return True
+
+    def release(self) -> None:
+        """Drop the throttle (freeze, abort, or failure teardown)."""
+        if self.domain.write_throttle != 1.0:
+            self.domain.write_throttle = 1.0
+            self.env.metrics.gauge("autoconverge.throttle").set(1.0)
+            self.env.tracer.instant("autoconverge:release",
+                                    category="migration")
+
+    def summary(self) -> dict:
+        """JSON-friendly record for ``report.extra``."""
+        return dict(steps=len(self.steps), final_factor=self.factor,
+                    log=[[t, f] for t, f in self.steps])

@@ -159,7 +159,8 @@ class Migrator:
         fwd_link, rev_link = self.link_between(source, destination)
         limiter = (TokenBucket(self.env, cfg.rate_limit, cfg.rate_limit_burst)
                    if cfg.rate_limit else NullLimiter())
-        compressor = (Compressor(ratio=cfg.compression_ratio)
+        compressor = (Compressor(ratio=cfg.compression_ratio,
+                                 ratios=cfg.compression_ratios)
                       if cfg.compress else None)
         fwd = Channel(self.env, fwd_link, limiter=limiter,
                       name=f"mig:{source.name}->{destination.name}",

@@ -48,11 +48,17 @@ class DiskPreCopier:
         abort_requested=None,
         resume: bool = False,
         store=None,
+        converge=None,
     ) -> None:
         self.env = env
         self.driver = driver
         self.streamer = streamer
         self.config = config
+        #: Optional :class:`~repro.core.converge.AutoConvergeController`:
+        #: consulted at every iteration boundary; while it can still
+        #: escalate the guest write throttle, the proactive stop is
+        #: deferred in favour of throttling (``auto_converge`` config).
+        self.converge = converge
         #: Optional :class:`~repro.persist.store.BitmapStore`: when set,
         #: every tracking bitmap this pre-copy registers is wrapped in a
         #: :class:`~repro.persist.tracked.PersistentBitmap` so guest
@@ -141,9 +147,11 @@ class DiskPreCopier:
                                 dirty_at_end=dirty_now)
             self.env.metrics.gauge("precopy.dirty_blocks").set(dirty_now)
 
+            escalated = (self.converge.observe(record)
+                         if self.converge is not None else False)
             if self.abort_requested is not None and self.abort_requested():
                 break
-            if not self._should_continue(record, iteration):
+            if not self._should_continue(record, iteration, escalated):
                 break
 
             # Iteration boundary: hand the dirty map to blkd, reset tracking.
@@ -154,14 +162,24 @@ class DiskPreCopier:
 
         return iterations
 
-    def _should_continue(self, record: IterationStats, iteration: int) -> bool:
+    def _should_continue(self, record: IterationStats, iteration: int,
+                         escalated: bool = False) -> bool:
         cfg = self.config
-        if iteration >= cfg.max_disk_iterations:
+        # Auto-converge trades the tight iteration cap for a larger (but
+        # still hard) bound: throttling needs a few rounds to bite.
+        limit = (cfg.max_disk_iterations if self.converge is None
+                 else cfg.auto_converge_max_iterations)
+        if iteration >= limit:
             return False
         if record.dirty_at_end <= cfg.disk_dirty_threshold_blocks:
             return False
         if record.dirty_at_end == 0:
             return False
+        if escalated:
+            # The controller just tightened the guest write throttle in
+            # response to this iteration's dirty rate; give the slower
+            # guest an iteration before judging convergence.
+            return True
         # Proactive stop: dirtying faster than we can send.
         if (record.duration > 0
                 and record.dirty_rate

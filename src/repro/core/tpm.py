@@ -88,6 +88,13 @@ class ThreePhaseMigration(MigrationScheme):
         self.resume = resume
         self._block_streamer: Optional[BlockStreamer] = None
         self._src_driver = None
+        #: Adaptive transfer stack (all None unless the config enables
+        #: them): multifd sub-channel fan-out, per-stream delta caches,
+        #: and the auto-converge throttle controller.
+        self._multifd = None
+        self._disk_delta = None
+        self._page_delta = None
+        self._converge = None
         #: Durable bitmap store backing this attempt (persist_bitmap only).
         self._store = None
         #: Destination VBD of the in-flight attempt (for the failure path).
@@ -148,9 +155,41 @@ class ThreePhaseMigration(MigrationScheme):
         tracer.end(init_span)
         disk_span = tracer.begin("phase:precopy-disk", category="phase")
         report.precopy_disk_started_at = env.now
+        # -- adaptive transfer stack (docs/TRANSFER.md; all default off) --
+        multifd = None
+        if cfg.multifd_channels > 1:
+            from ..net.multifd import MultiFD
+
+            multifd = self._multifd = MultiFD(env, self.fwd,
+                                              cfg.multifd_channels)
+            # Register the sub-channels so the report's byte ledger and
+            # the cluster conservation audit see every striped byte.
+            self.extra_channels.extend(multifd.channels)
+        disk_delta = page_delta = None
+        if cfg.delta_cache_mb > 0:
+            from ..net.delta import DeltaCache
+            from ..units import MiB
+
+            cache_nbytes = cfg.delta_cache_mb * MiB
+            disk_delta = self._disk_delta = DeltaCache(
+                cache_nbytes, src_vbd.block_size,
+                delta_ratio=cfg.delta_ratio,
+                encode_throughput=cfg.delta_throughput, name="delta.disk")
+            if cfg.include_memory:
+                page_delta = self._page_delta = DeltaCache(
+                    cache_nbytes, domain.memory.page_size,
+                    delta_ratio=cfg.delta_ratio,
+                    encode_throughput=cfg.delta_throughput,
+                    name="delta.mem")
+        converge = None
+        if cfg.auto_converge:
+            from .converge import AutoConvergeController
+
+            converge = self._converge = AutoConvergeController(
+                env, domain, cfg)
         block_streamer = BlockStreamer(
             env, self.source.disk, src_vbd, self.destination.disk,
-            dest_vbd, self.fwd, cfg)
+            dest_vbd, self.fwd, cfg, multifd=multifd, delta=disk_delta)
         self._block_streamer = block_streamer
         initial_indices = self.initial_indices
         if (initial_indices is None and cfg.guest_aware
@@ -197,7 +236,7 @@ class ThreePhaseMigration(MigrationScheme):
             env, src_driver, block_streamer, cfg,
             initial_indices=initial_indices,
             abort_requested=lambda: self._abort_requested,
-            resume=self.resume, store=store)
+            resume=self.resume, store=store, converge=converge)
         report.disk_iterations = yield from precopier.run()
         if precopier.adopted_recovered:
             report.extra["recovered_from_persistence"] = True
@@ -219,7 +258,8 @@ class ThreePhaseMigration(MigrationScheme):
                                         domain.memory.page_size,
                                         clock=domain.memory.clock)
             page_streamer = PageStreamer(env, domain.memory,
-                                         shadow_memory, self.fwd, cfg)
+                                         shadow_memory, self.fwd, cfg,
+                                         multifd=multifd, delta=page_delta)
             memcopier = MemoryPreCopier(env, domain.memory, page_streamer,
                                         cfg)
             report.mem_rounds = yield from memcopier.run()
@@ -233,6 +273,10 @@ class ThreePhaseMigration(MigrationScheme):
         self._committed = True
         self._notify_phase("freeze")
         freeze_span = tracer.begin("phase:freeze", category="phase")
+        if converge is not None:
+            # The guest suspends now and must resume unthrottled on the
+            # destination; the pre-copy the throttle served is over.
+            converge.release()
         domain.suspend()
         report.suspended_at = env.now
         tracer.instant("suspend", category="freeze")
@@ -248,7 +292,8 @@ class ThreePhaseMigration(MigrationScheme):
             pages = final_dirty.dirty_indices()
             report.final_dirty_pages = int(pages.size)
             page_streamer = PageStreamer(env, domain.memory, shadow_memory,
-                                         self.fwd, cfg)
+                                         self.fwd, cfg,
+                                         multifd=multifd, delta=page_delta)
             yield from page_streamer.stream(pages, category="memory",
                                             limited=False)
             # Capture the register state *now*, while the guest is frozen
@@ -347,6 +392,7 @@ class ThreePhaseMigration(MigrationScheme):
 
         # -- wire accounting & verification --------------------------------
         report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        self._stamp_transfer_extras()
         if cfg.verify_consistency:
             verify_span = tracer.begin("phase:verify", category="phase")
             # A guest write may have cancelled a transfer (clearing BM_2,
@@ -378,6 +424,27 @@ class ThreePhaseMigration(MigrationScheme):
 
     # ------------------------------------------------------------------
 
+    def _stamp_transfer_extras(self) -> None:
+        """Record adaptive-transfer-stack statistics in ``report.extra``.
+
+        Only keys for features that were actually enabled appear, so the
+        default run's report is unchanged field-for-field.
+        """
+        extra = self.report.extra
+        if self._multifd is not None:
+            extra["multifd_channels"] = self._multifd.nchannels
+            extra["multifd_bytes_by_channel"] = [
+                chan.total_bytes for chan in self._multifd.channels]
+        if self._disk_delta is not None:
+            extra["delta_disk"] = self._disk_delta.summary()
+        if self._page_delta is not None:
+            extra["delta_mem"] = self._page_delta.summary()
+        if self._converge is not None:
+            summary = self._converge.summary()
+            extra["auto_converge_steps"] = summary["steps"]
+            extra["auto_converge_final_factor"] = summary["final_factor"]
+            extra["auto_converge_log"] = summary["log"]
+
     def _abort(self, src_driver, memory_logging: bool) -> Generator:
         """Tear the migration down with the domain untouched on the source.
 
@@ -387,6 +454,8 @@ class ThreePhaseMigration(MigrationScheme):
         """
         report = self.report
         src_driver.stop_tracking(TRACKING_NAME)
+        if self._converge is not None:
+            self._converge.release()  # guest stays: unthrottle it
         if self._store is not None and self._store.is_open:
             self._store.complete()  # cancelled on purpose: nothing pending
         if memory_logging and self.domain.memory.logging:
@@ -397,6 +466,7 @@ class ThreePhaseMigration(MigrationScheme):
         report.extra["aborted"] = True
         report.ended_at = self.env.now
         report.bytes_by_category = self._ledger_delta(self._ledger_before)
+        self._stamp_transfer_extras()
         self.env.tracer.instant("migration:aborted", category="migration",
                                 phase=self._phase)
         self.env.tracer.close_open(aborted=True)
@@ -413,6 +483,10 @@ class ThreePhaseMigration(MigrationScheme):
         """
         surviving = 0
         keep_vbd = None
+        if self._converge is not None:
+            # The guest keeps running on the source; never leave it
+            # throttled across the retry backoff.
+            self._converge.release()
         if (self._src_driver is not None
                 and self._src_driver.has_tracking(TRACKING_NAME)):
             bitmap = self._src_driver.tracking_bitmap(TRACKING_NAME)
@@ -431,6 +505,7 @@ class ThreePhaseMigration(MigrationScheme):
             keep_vbd = self._dest_vbd_inflight
             self.report.extra["persisted_bitmap_recoverable"] = True
         self.report.extra["surviving_dirty_blocks"] = int(surviving)
+        self._stamp_transfer_extras()
         return keep_vbd
 
     def _failure_attrs(self) -> dict:

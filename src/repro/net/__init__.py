@@ -1,8 +1,14 @@
-"""Network substrate: links, rate limiting, and typed migration channels."""
+"""Network substrate: links, rate limiting, and typed migration channels.
+
+The adaptive transfer stack (delta compression, multifd parallel
+channels) lives here too — see docs/TRANSFER.md for the layer guide.
+"""
 
 from .channel import Channel, channel_pair
 from .compression import Compressor
+from .delta import DeltaCache
 from .link import DuplexLink, Link
+from .multifd import MultiFD
 from .messages import (
     HEADER_NBYTES,
     BitmapMsg,
@@ -24,8 +30,10 @@ __all__ = [
     "Channel",
     "Compressor",
     "ControlMsg",
+    "DeltaCache",
     "DeltaMsg",
     "DuplexLink",
+    "MultiFD",
     "HEADER_NBYTES",
     "Link",
     "MemoryPagesMsg",

@@ -12,6 +12,24 @@ Observability (see docs/OBSERVABILITY.md): every send also increments the
 ``chan.<category>.bytes`` counter on ``env.metrics``, mirroring the byte
 ledger one-for-one — a traced run's counter totals equal the final
 report's ``bytes_by_category`` exactly.
+
+Invariants the rest of the stack relies on (see docs/TRANSFER.md):
+
+* **In-order delivery.**  Messages arrive in send order, always.  The
+  wire itself serialises sends, but per-message decompression delay could
+  let a small message overtake a large one still being inflated — the
+  ``_delivery_floor`` clamp forbids exactly that.  The transfer pipeline's
+  fixed-count receive loops and post-copy's pull matching both assume it.
+* **Exact byte accounting.**  Every wire byte lands in exactly one
+  ``(channel, category)`` ledger cell, and ``link.bytes_sent`` equals the
+  sum over all channels routed through that link — the cluster-level
+  conservation audit (:mod:`repro.cluster.accounting`) enforces this,
+  including across multifd sub-channels.
+* **Compression is size-gated.**  Payloads under
+  :attr:`Channel.COMPRESS_THRESHOLD` skip the compressor entirely, so
+  control chatter never pays codec CPU; the compressor's per-kind ratio
+  is looked up by the send *category* (memory pages vs disk blocks vs
+  already-delta-encoded chunks compress very differently).
 """
 
 from __future__ import annotations
@@ -73,6 +91,8 @@ class Channel:
         mailbox happens :attr:`Link.latency` later, preserving send order.
         ``limited=False`` bypasses the rate limiter (e.g. the tiny control
         handshakes, or post-copy traffic when only pre-copy is throttled).
+        ``category`` both labels the byte ledger entry and selects the
+        compressor's per-kind ratio.
         """
         if not isinstance(message, Message):
             raise NetworkError(f"cannot send non-Message {message!r}")
@@ -81,7 +101,7 @@ class Channel:
         if (self.compressor is not None
                 and payload >= self.COMPRESS_THRESHOLD):
             yield self.env.timeout(self.compressor.compress_time(payload))
-            wire_payload = self.compressor.wire_nbytes(payload)
+            wire_payload = self.compressor.wire_nbytes(payload, kind=category)
             decompress = self.compressor.decompress_time(payload)
             self.bytes_saved += payload - wire_payload
             nbytes = wire_payload + (message.wire_nbytes - payload)

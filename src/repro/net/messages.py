@@ -5,6 +5,26 @@ header so that "amount of migrated data" includes protocol overhead, as the
 paper's metric definition requires (§III-A: the amount is always larger
 than the raw state size "because there must be some redundancy for
 synchronization and protocols").
+
+Wire format (see docs/TRANSFER.md for the full layer description)::
+
+    wire_nbytes = payload_nbytes + HEADER_NBYTES
+
+* ``payload_nbytes`` is message-specific: bulk messages charge their
+  content plus a per-unit locator (8 bytes per block/page index), control
+  messages a small fixed size.
+* ``HEADER_NBYTES`` is the fixed framing every message pays (type tag,
+  lengths, checksum).  Headers are never compressed.
+
+Bulk messages (:class:`BlockDataMsg`, :class:`MemoryPagesMsg`) support an
+:attr:`encoded_nbytes` override: when the transfer pipeline's
+:class:`~repro.net.delta.DeltaCache` re-encodes a chunk as deltas against
+previously-sent contents, it stamps the smaller on-wire payload size here.
+``None`` (the default) keeps the nominal full-content size, so runs
+without delta compression are bit-identical.  The simulated *content*
+(indices, generation stamps, optional data) always travels whole — only
+the charged wire bytes change, exactly as a real delta codec reconstructs
+the full block at the receiver.
 """
 
 from __future__ import annotations
@@ -44,6 +64,9 @@ class BlockDataMsg(Message):
     block_size: int = BLOCK_SIZE
     #: True when this batch answers a pull request (sent preferentially).
     pulled: bool = False
+    #: Delta-encoded on-wire payload size; None = full content.  Stamped
+    #: by :meth:`repro.net.delta.DeltaCache.encode`.
+    encoded_nbytes: Optional[int] = None
 
     @property
     def nblocks(self) -> int:
@@ -51,6 +74,8 @@ class BlockDataMsg(Message):
 
     @property
     def payload_nbytes(self) -> int:
+        if self.encoded_nbytes is not None:
+            return self.encoded_nbytes
         # Block content dominates; per-block index costs 8 bytes.
         return self.nblocks * (self.block_size + 8)
 
@@ -87,6 +112,9 @@ class MemoryPagesMsg(Message):
     indices: np.ndarray
     stamps: np.ndarray
     page_size: int = PAGE_SIZE
+    #: Delta-encoded on-wire payload size; None = full content.  Stamped
+    #: by :meth:`repro.net.delta.DeltaCache.encode`.
+    encoded_nbytes: Optional[int] = None
 
     @property
     def npages(self) -> int:
@@ -94,6 +122,8 @@ class MemoryPagesMsg(Message):
 
     @property
     def payload_nbytes(self) -> int:
+        if self.encoded_nbytes is not None:
+            return self.encoded_nbytes
         return self.npages * (self.page_size + 8)
 
 

@@ -4,6 +4,25 @@ The paper's §VI-C-3 experiment limits "the network bandwidth used by the
 migration process in the pre-copy phase" to halve the impact on the guest's
 disk throughput, at the cost of a ~37 % longer pre-copy.  The limiter paces
 *only* flows that opt in — guest service traffic is never throttled.
+
+**Debt semantics** (the invariant consumers rely on): a blocking
+:meth:`TokenBucket.consume` books its bytes *immediately* — the token
+count may go negative — and then sleeps exactly ``deficit / rate``.
+Consequences:
+
+* aggregate throughput is paced to ``rate`` even for single requests
+  larger than the burst (they simply go deeper into debt and sleep
+  longer);
+* concurrent consumers are served in arrival order, because each books
+  its debt before sleeping — a later consumer always sees the earlier
+  one's debt and sleeps behind it;
+* one bucket instance can safely be **shared** across channels: multifd
+  sub-channels deliberately share the migration limiter so the token
+  bucket paces the aggregate stripe throughput, not N× the configured
+  rate (see docs/TRANSFER.md);
+* :meth:`TokenBucket.try_consume` never observes phantom capacity while
+  the bucket is in debt (``tokens < 0``), except that a zero-byte probe
+  always succeeds.
 """
 
 from __future__ import annotations

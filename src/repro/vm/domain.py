@@ -52,6 +52,12 @@ class Domain:
             Domain._next_id += 1
         self.domain_id = domain_id
         self.state = DomainState.RUNNING
+        #: Auto-converge write throttle (1.0 = unthrottled).  When > 1,
+        #: every guest write takes ``factor ×`` its unthrottled duration
+        #: end-to-end, scaling a closed-loop writer's dirty rate by
+        #: ``~1/factor`` — the actuator of
+        #: :class:`~repro.core.converge.AutoConvergeController`.
+        self.write_throttle = 1.0
         #: The host currently executing this domain (set by Host.attach).
         self.host: Optional["Host"] = None
         #: Event that fires on resume; recreated on each suspend.
@@ -118,7 +124,18 @@ class Domain:
         driver = host.driver_of(self.domain_id)
         request = IORequest(kind, block, nblocks, domain_id=self.domain_id,
                             block_size=driver.vbd.block_size)
-        yield from driver.submit(request)
+        throttle = self.write_throttle
+        if throttle != 1.0 and kind is IOKind.WRITE:
+            # Auto-converge: stretch the write to throttle× its natural
+            # duration (QEMU slows the vCPU; stretching the I/O has the
+            # same closed-loop effect on the storage dirty rate).
+            started = self.env.now
+            yield from driver.submit(request)
+            stall = (self.env.now - started) * (throttle - 1.0)
+            if stall > 0.0:
+                yield self.env.timeout(stall)
+        else:
+            yield from driver.submit(request)
 
     def read(self, block: int, nblocks: int = 1) -> Generator:
         return self.io(IOKind.READ, block, nblocks)
@@ -144,7 +161,15 @@ class Domain:
         requests = [IORequest(kind, int(first), int(nblocks),
                               domain_id=self.domain_id, block_size=block_size)
                     for first, nblocks in extents]
-        yield from driver.submit_coalesced(requests)
+        throttle = self.write_throttle
+        if throttle != 1.0 and kind is IOKind.WRITE:
+            started = self.env.now
+            yield from driver.submit_coalesced(requests)
+            stall = (self.env.now - started) * (throttle - 1.0)
+            if stall > 0.0:
+                yield self.env.timeout(stall)
+        else:
+            yield from driver.submit_coalesced(requests)
 
     def write_batch(self, extents) -> Generator:
         """Coalesced counterpart of :meth:`write` (opt-in, changes timing)."""

@@ -58,6 +58,48 @@ class TestValidation:
         assert MigrationConfig(pipeline_depth=1).pipeline_depth == 1
         assert MigrationConfig(pipeline_depth=8).pipeline_depth == 8
 
+    def test_adaptive_stack_defaults_off(self):
+        cfg = MigrationConfig()
+        assert cfg.delta_cache_mb == 0.0
+        assert cfg.multifd_channels == 1
+        assert cfg.auto_converge is False
+        assert cfg.compression_ratios is None
+
+    def test_delta_knobs_validated(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(delta_cache_mb=-1.0)
+        with pytest.raises(MigrationError):
+            MigrationConfig(delta_ratio=0.9)
+        with pytest.raises(MigrationError):
+            MigrationConfig(delta_throughput=0)
+        assert MigrationConfig(delta_cache_mb=64.0, delta_ratio=4.0)
+
+    def test_multifd_channels_at_least_one(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(multifd_channels=0)
+        with pytest.raises(MigrationError):
+            MigrationConfig(multifd_channels=-2)
+        assert MigrationConfig(multifd_channels=8).multifd_channels == 8
+
+    def test_auto_converge_knobs_validated(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(auto_converge_start=1.0)  # must exceed 1x
+        with pytest.raises(MigrationError):
+            MigrationConfig(auto_converge_step=0.0)
+        with pytest.raises(MigrationError):
+            MigrationConfig(auto_converge_max_factor=1.5,
+                            auto_converge_start=2.0)  # cap below start
+        with pytest.raises(MigrationError):
+            MigrationConfig(auto_converge_max_iterations=0)
+        assert MigrationConfig(auto_converge=True)  # defaults are coherent
+
+    def test_compression_ratios_validated(self):
+        with pytest.raises(MigrationError):
+            MigrationConfig(compression_ratios={"memory": 0.5})
+        cfg = MigrationConfig(compression_ratios={"memory": 4.0,
+                                                  "disk": 1.5})
+        assert cfg.compression_ratios["memory"] == 4.0
+
 
 class TestReplace:
     def test_replace_returns_modified_copy(self):

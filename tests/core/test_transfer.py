@@ -137,3 +137,109 @@ class TestPageStreamer:
 
         stats = env.run(until=env.process(proc(env)))
         assert stats.units_sent == 0
+
+
+class TestSplitChunks:
+    def test_zero_length_payload_yields_no_chunks(self):
+        from repro.core.transfer import split_chunks
+
+        assert split_chunks(np.empty(0, dtype=np.int64), 128) == []
+
+    def test_chunk_size_larger_than_payload(self):
+        from repro.core.transfer import split_chunks
+
+        indices = np.arange(10)
+        chunks = split_chunks(indices, 1000)
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0], indices)
+
+    def test_non_divisible_tail_matches_array_split(self):
+        from repro.core.transfer import split_chunks
+
+        for n, size in [(10, 3), (1000, 128), (7, 7), (8, 7), (1, 4),
+                        (129, 128), (255, 128)]:
+            indices = np.arange(n)
+            nchunks = (n + size - 1) // size
+            expected = np.array_split(indices, nchunks)
+            got = split_chunks(indices, size)
+            assert len(got) == len(expected)
+            for mine, ref in zip(got, expected):
+                np.testing.assert_array_equal(mine, ref)
+            # Every element appears exactly once, in order.
+            np.testing.assert_array_equal(np.concatenate(got), indices)
+            # No chunk exceeds the requested size.
+            assert max(len(c) for c in got) <= size
+
+    def test_chunks_are_views_not_copies(self):
+        from repro.core.transfer import split_chunks
+
+        indices = np.arange(16)
+        for chunk in split_chunks(indices, 4):
+            assert chunk.base is indices
+
+
+class TestStriping:
+    """Streamer-level multifd behaviour (pipeline_depth interaction)."""
+
+    def _stream(self, env, nblocks, *, multifd_channels, pipeline_depth):
+        from repro.net import MultiFD
+
+        src, dst, sd, dd, _ = make_disk_pair(env, nblocks=nblocks)
+        src.write(0, nblocks)
+        chan = Channel(env, Link(env, 125 * MB, 0))
+        mfd = (MultiFD(env, chan, multifd_channels)
+               if multifd_channels > 1 else None)
+        cfg = MigrationConfig(chunk_blocks=64, pipeline_depth=pipeline_depth,
+                              multifd_channels=multifd_channels)
+        streamer = BlockStreamer(env, sd, src, dd, dst, chan, cfg,
+                                 multifd=mfd)
+
+        def proc(env):
+            return (yield from streamer.stream(np.arange(nblocks)))
+
+        stats = env.run(until=env.process(proc(env)))
+        assert dst.identical_to(src)
+        return stats, mfd
+
+    @pytest.mark.parametrize("depth", [1, 2, 8])
+    @pytest.mark.parametrize("nchannels", [2, 4])
+    def test_pipeline_depth_times_multifd(self, depth, nchannels):
+        """Every depth x fan-out combination moves all blocks and spreads
+        traffic across every lane (each buffer is depth-bounded, so a slow
+        lane backpressures the shared reader without deadlock)."""
+        env = Environment()
+        stats, mfd = self._stream(env, 1000, multifd_channels=nchannels,
+                                  pipeline_depth=depth)
+        assert stats.units_sent == 1000
+        assert all(chan.total_bytes > 0 for chan in mfd.channels)
+        assert mfd.total_bytes == stats.bytes_sent
+
+    def test_striped_byte_total_matches_single_channel(self):
+        baseline, _ = self._stream(Environment(), 1000, multifd_channels=1,
+                                   pipeline_depth=4)
+        striped, _ = self._stream(Environment(), 1000, multifd_channels=4,
+                                  pipeline_depth=4)
+        assert striped.bytes_sent == baseline.bytes_sent
+        assert striped.units_sent == baseline.units_sent
+
+    def test_single_chunk_batch_skips_striping(self):
+        """A batch that fits one chunk rides the base channel even when a
+        MultiFD is attached (striping one chunk would only add overhead)."""
+        env = Environment()
+        from repro.net import MultiFD
+
+        src, dst, sd, dd, _ = make_disk_pair(env, nblocks=32)
+        src.write(0, 32)
+        chan = Channel(env, Link(env, 125 * MB, 0))
+        mfd = MultiFD(env, chan, 4)
+        streamer = BlockStreamer(env, sd, src, dd, dst, chan,
+                                 MigrationConfig(chunk_blocks=64),
+                                 multifd=mfd)
+
+        def proc(env):
+            return (yield from streamer.stream(np.arange(32)))
+
+        stats = env.run(until=env.process(proc(env)))
+        assert stats.units_sent == 32
+        assert mfd.total_bytes == 0
+        assert chan.total_bytes == stats.bytes_sent
