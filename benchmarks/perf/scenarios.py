@@ -17,6 +17,12 @@ clock varies run to run, which is why the runner takes best-of-N.
   transfer stack fully enabled (delta cache + multifd + auto-converge),
   guarding the overhead of the opt-in fast paths in
   :mod:`repro.core.transfer`.
+* ``scale_1k_host`` — the datacenter evacuation wave from
+  ``bench_scale.py`` on the **sharded** per-rack engine (full geometry:
+  1,000 hosts / 10,000 VMs, 300 intra-rack evacuations under 10,000
+  background tickers).  ``wall_s`` tracks the sharded run; the
+  monolithic run of the identical wave rides along in ``mono_wall_s`` /
+  ``speedup`` so the sharded engine's advantage is recorded in-tree.
 """
 
 from __future__ import annotations
@@ -119,10 +125,31 @@ def transfer_stack(smoke: bool = False) -> dict:
                    delta_hits=report.extra["delta_disk"]["hits"])
 
 
+def scale_1k_host(smoke: bool = False) -> dict:
+    """Wall-clock for the sharded datacenter evacuation wave (plus the
+    monolithic run of the same wave, for the recorded speedup)."""
+    bench_dir = os.path.join(os.path.dirname(__file__), "..")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_scale
+
+    geometry = dict(bench_scale.SMOKE if smoke else bench_scale.FULL)
+    out = bench_scale.compare_once(**geometry)
+    sharded = out["sharded"]
+    return _result(sharded["wall_s"], sharded["events"],
+                   sharded["sim_time"], **geometry,
+                   nvms_migrated=sharded["nvms"],
+                   makespan=sharded["makespan"],
+                   mono_wall_s=out["mono"]["wall_s"],
+                   mono_events=out["mono"]["events"],
+                   speedup=out["speedup"])
+
+
 #: Name -> callable(smoke) for the runner; insertion order is run order.
 SCENARIOS = {
     "engine": engine,
     "table1_tpm": table1_tpm,
     "evacuate_32vm": evacuate_32vm,
     "transfer_stack": transfer_stack,
+    "scale_1k_host": scale_1k_host,
 }

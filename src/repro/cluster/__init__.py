@@ -18,20 +18,40 @@ Typical use::
     print(bed.scheduler.makespan(jobs))
 """
 
+from ..errors import NoValidHost
 from .accounting import LinkAudit, assert_conserved, audit_link_bytes
+from .churn import ChurnConfig, ChurnGenerator
+from .hostmanager import (HostManager, HostState, PlacementSpec,
+                          register_filter, register_weigher)
 from .placement import RoundRobin, least_loaded, pack_smallest_name
 from .scheduler import ClusterScheduler, MigrationJob
+from .sharded import ShardedCluster, build_sharded_cluster
+from .slo import SLOReport, TenantSLO, makespan_percentiles, slo_report
 from .testbed import ClusterBed, build_cluster
 
 __all__ = [
+    "ChurnConfig",
+    "ChurnGenerator",
     "ClusterBed",
     "ClusterScheduler",
+    "HostManager",
+    "HostState",
     "LinkAudit",
     "MigrationJob",
+    "NoValidHost",
+    "PlacementSpec",
     "RoundRobin",
+    "SLOReport",
+    "ShardedCluster",
+    "TenantSLO",
     "assert_conserved",
     "audit_link_bytes",
     "build_cluster",
+    "build_sharded_cluster",
     "least_loaded",
+    "makespan_percentiles",
     "pack_smallest_name",
+    "register_filter",
+    "register_weigher",
+    "slo_report",
 ]

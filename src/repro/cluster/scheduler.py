@@ -15,9 +15,13 @@ contend for links.  :class:`ClusterScheduler` turns the point-to-point
   must hold a slot on every duplex link its route crosses before it
   starts.  Slots are acquired in sorted link order, so two jobs wanting
   overlapping link sets can never deadlock;
-* **policies** — :meth:`evacuate` empties a host and :meth:`rebalance`
-  spreads domains, both choosing destinations through a pluggable
-  placement policy (:mod:`repro.cluster.placement`).
+* **placement** — every destination decision (evacuate, rebalance, and
+  re-placement of queued jobs whose target died) flows through one
+  :class:`~repro.cluster.hostmanager.HostManager` filter/weigher
+  pipeline.  Legacy :mod:`repro.cluster.placement` callables are still
+  accepted — they run against the manager's *filtered* candidate list,
+  so even custom policies can no longer pick a crashed or
+  in-maintenance host.
 
 Failed migrations are contained: the job records the
 :class:`~repro.errors.MigrationFailed` and the scheduler moves on.
@@ -30,9 +34,10 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..core.manager import Migrator
 from ..core.metrics import MigrationReport
-from ..errors import MigrationError
+from ..errors import MigrationError, NoValidHost
 from ..sim import Resource
-from .placement import PlacementPolicy, least_loaded
+from .hostmanager import HostManager, PlacementSpec
+from .placement import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import MigrationConfig
@@ -58,6 +63,11 @@ class MigrationJob:
     error: Optional[Exception] = None
     process: Optional["Process"] = None
     scheme_kwargs: dict = field(default_factory=dict)
+    #: True for jobs whose destination the *scheduler* chose (evacuate /
+    #: rebalance): if that destination crashes or enters maintenance
+    #: while the job queues, admission re-places it.  Explicitly
+    #: submitted jobs keep their requested destination and fail instead.
+    replaceable: bool = False
 
     @property
     def queue_time(self) -> float:
@@ -77,7 +87,8 @@ class ClusterScheduler:
     def __init__(self, env: "Environment", migrator: Migrator,
                  max_concurrent: int = 4,
                  per_link_limit: Optional[int] = None,
-                 config: Optional["MigrationConfig"] = None) -> None:
+                 config: Optional["MigrationConfig"] = None,
+                 hostmanager: Optional[HostManager] = None) -> None:
         if max_concurrent < 1:
             raise MigrationError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -97,6 +108,15 @@ class ClusterScheduler:
         #: host name -> migrations currently scheduled *toward* that host
         #: but not yet completed (placement looks at planned load).
         self._inbound: dict[str, int] = {}
+        #: The placement pipeline.  The default manager shares this
+        #: scheduler's live inbound map, so HostState.planned_load tracks
+        #: submissions without explicit refresh calls.
+        self.hostmanager = hostmanager if hostmanager is not None else \
+            HostManager(migrator.topology, inbound=self._inbound)
+        # The scheduler owns inbound bookkeeping; an externally built
+        # manager is rewired onto the live map so its planned-load view
+        # tracks submissions.
+        self.hostmanager._inbound = self._inbound
 
     # -- introspection -----------------------------------------------------
 
@@ -123,16 +143,21 @@ class ClusterScheduler:
     def submit(self, domain: "Domain", destination: "Host",
                scheme: str = "tpm", workload_name: str = "unknown",
                config: Optional["MigrationConfig"] = None,
-               scheme_kwargs: Optional[dict] = None) -> MigrationJob:
+               scheme_kwargs: Optional[dict] = None,
+               replaceable: bool = False) -> MigrationJob:
         """Queue one migration; returns its :class:`MigrationJob`.
 
         The job runs as a simulation process — drive the environment
-        (``env.run`` / :meth:`drain`) to make progress.
+        (``env.run`` / :meth:`drain`) to make progress.  With
+        ``replaceable=True`` (what :meth:`evacuate` / :meth:`rebalance`
+        pass) the destination is treated as a scheduler choice and may be
+        re-placed at admission time if it stops being a valid target.
         """
         job = MigrationJob(domain=domain, destination=destination,
                            scheme=scheme, workload_name=workload_name,
                            submitted_at=self.env.now,
-                           scheme_kwargs=dict(scheme_kwargs or {}))
+                           scheme_kwargs=dict(scheme_kwargs or {}),
+                           replaceable=replaceable)
         self.jobs.append(job)
         self._inbound[destination.name] = (
             self._inbound.get(destination.name, 0) + 1)
@@ -173,6 +198,28 @@ class ClusterScheduler:
                 job.ended_at = env.now
                 self._inbound[job.destination.name] -= 1
                 return
+            if job.replaceable and not job.destination.available:
+                # The chosen destination crashed or entered maintenance
+                # while this job queued (mid-churn).  Re-run placement —
+                # explicit submissions keep their target and fail inside
+                # the migrator instead.
+                try:
+                    replacement = self.hostmanager.select(
+                        PlacementSpec(domain=job.domain))
+                except NoValidHost as exc:
+                    job.status = "failed"
+                    job.error = exc
+                    job.ended_at = env.now
+                    self._inbound[job.destination.name] -= 1
+                    return
+                tracer.instant("cluster:replace", category="cluster",
+                               domain=job.domain.name,
+                               old=job.destination.name,
+                               new=replacement.name)
+                self._inbound[job.destination.name] -= 1
+                self._inbound[replacement.name] = (
+                    self._inbound.get(replacement.name, 0) + 1)
+                job.destination = replacement
             grants = []
             try:
                 for slot in self._slots_for(source, job.destination):
@@ -181,6 +228,10 @@ class ClusterScheduler:
                     yield request
                 job.status = "running"
                 job.started_at = env.now
+                # Feed the link-headroom filter: both endpoints' uplinks
+                # now carry one more in-flight migration.
+                self.hostmanager.note_link(source, +1)
+                self.hostmanager.note_link(job.destination, +1)
                 span = tracer.begin(f"cluster:job:{job.domain.name}",
                                     category="cluster", scheme=job.scheme,
                                     src=source.name,
@@ -203,6 +254,9 @@ class ClusterScheduler:
             finally:
                 job.ended_at = env.now
                 self._inbound[job.destination.name] -= 1
+                if job.started_at is not None:
+                    self.hostmanager.note_link(source, -1)
+                    self.hostmanager.note_link(job.destination, -1)
                 for request in grants:
                     request.release()
         self.env.metrics.counter(
@@ -210,41 +264,57 @@ class ClusterScheduler:
 
     # -- bulk operations ---------------------------------------------------
 
-    def _candidates(self, exclude: "Host") -> list["Host"]:
-        hosts = [host for host in self.migrator.topology.hosts.values()
-                 if host is not exclude and not host.crashed]
-        hosts.sort(key=lambda h: h.name)
-        if not hosts:
-            raise MigrationError(
-                f"no destination candidates besides {exclude.name!r}")
-        return hosts
+    def _candidates(self, exclude: "Host",
+                    domain: Optional["Domain"] = None) -> list["Host"]:
+        """Hosts the placement pipeline allows as destinations, sorted by
+        name.  Crashed and in-maintenance hosts never appear (the filter
+        chain's ``up`` filter), so legacy policy callables can no longer
+        pick a dead target mid-churn."""
+        spec = PlacementSpec(domain=domain, source=exclude)
+        states = self.hostmanager.filter_hosts(spec)
+        return [state.host for state in states]
+
+    def place(self, domain: "Domain",
+              policy: Optional[PlacementPolicy] = None) -> "Host":
+        """Choose a destination for one domain.
+
+        Without ``policy`` the HostManager filter/weigher pipeline
+        decides; a legacy :data:`PlacementPolicy` callable is honoured
+        but only sees pipeline-filtered candidates.
+        """
+        if policy is None:
+            return self.hostmanager.select(PlacementSpec(domain=domain))
+        candidates = self._candidates(domain.host, domain=domain)
+        return policy(domain, candidates, self.planned_load())
 
     def evacuate(self, host: "Host",
-                 policy: PlacementPolicy = least_loaded,
+                 policy: Optional[PlacementPolicy] = None,
                  scheme: str = "tpm",
                  workload_name: str = "unknown") -> list[MigrationJob]:
         """Schedule every domain off ``host`` (maintenance drain).
 
-        Destinations are chosen by ``policy`` against planned load, so a
-        burst of simultaneous placements spreads across the cluster.
-        Returns the submitted jobs; drive the env (or :meth:`drain`) to
-        execute them.
+        Destinations flow through the HostManager pipeline (or a legacy
+        ``policy`` callable over its filtered candidates) against planned
+        load, so a burst of simultaneous placements spreads across the
+        cluster.  Returns the submitted jobs; drive the env (or
+        :meth:`drain`) to execute them.
         """
         jobs = []
-        loads = self.planned_load()
         for domain in sorted(host.domains, key=lambda d: d.domain_id):
-            destination = policy(domain, self._candidates(host), loads)
-            loads[destination.name] = loads.get(destination.name, 0) + 1
+            destination = self.place(domain, policy)
+            # submit() bumps the shared inbound map, so the next
+            # placement in this burst already sees the planned load.
             jobs.append(self.submit(domain, destination, scheme=scheme,
-                                    workload_name=workload_name))
+                                    workload_name=workload_name,
+                                    replaceable=True))
         self.env.tracer.instant("cluster:evacuate", category="cluster",
                                 host=host.name, jobs=len(jobs))
         return jobs
 
-    def rebalance(self, policy: PlacementPolicy = least_loaded,
+    def rebalance(self, policy: Optional[PlacementPolicy] = None,
                   scheme: str = "tpm") -> list[MigrationJob]:
         """One pass of load spreading: move domains off hosts above the
-        ceiling of the mean planned load onto policy-chosen targets."""
+        ceiling of the mean planned load onto pipeline-chosen targets."""
         jobs: list[MigrationJob] = []
         loads = self.planned_load()
         hosts = sorted(self.migrator.topology.hosts.values(),
@@ -263,15 +333,25 @@ class ClusterScheduler:
                 if not movable:
                     break
                 domain = min(movable, key=lambda d: d.domain_id)
-                candidates = [c for c in self._candidates(host)
-                              if loads.get(c.name, 0) < ceiling]
-                if not candidates:
+                try:
+                    below = [c for c in self._candidates(host, domain=domain)
+                             if loads.get(c.name, 0) < ceiling]
+                except NoValidHost:
+                    below = []
+                if not below:
                     break
-                destination = policy(domain, candidates, loads)
+                if policy is None:
+                    survivors = [self.hostmanager.state_of(c) for c in below]
+                    spec = PlacementSpec(domain=domain, source=host)
+                    destination = self.hostmanager.weigh_hosts(
+                        survivors, spec)[0][1].host
+                else:
+                    destination = policy(domain, below, loads)
                 scheduled.add(domain.domain_id)
                 loads[host.name] -= 1
                 loads[destination.name] = loads.get(destination.name, 0) + 1
-                jobs.append(self.submit(domain, destination, scheme=scheme))
+                jobs.append(self.submit(domain, destination, scheme=scheme,
+                                        replaceable=True))
         self.env.tracer.instant("cluster:rebalance", category="cluster",
                                 jobs=len(jobs))
         return jobs

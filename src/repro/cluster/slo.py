@@ -1,0 +1,168 @@
+"""SLO accounting for cluster-scale migration waves.
+
+The paper's metrics (downtime, total migration time) are per-migration;
+at datacenter scale the operator question is aggregate: *did the
+maintenance wave finish on time, and did any tenant burn through its
+downtime budget?*  This module folds a batch of
+:class:`~repro.cluster.scheduler.MigrationJob` results into a single
+:class:`SLOReport`:
+
+* **makespan percentiles** — p50/p95/p99 of per-job completion time
+  (submission to end), plus the wave makespan itself;
+* **per-tenant downtime budgets** — each tenant's summed downtime
+  across its migrations, checked against a budget in seconds.
+
+Tenancy is derived from VM names.  The default rule strips the trailing
+ordinal: ``vm-host03-1`` belongs to tenant ``vm-host03`` and
+``churn-rack0-7`` to ``churn-rack0`` — i.e. per-host / per-shard
+grouping for the built-in testbeds.  Pass ``tenant_of`` for a real
+mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import MigrationJob
+
+#: Percentiles reported by :func:`makespan_percentiles`.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def default_tenant(name: str) -> str:
+    """``vm-host03-1`` -> ``vm-host03`` (strip the trailing ordinal)."""
+    head, sep, tail = name.rpartition("-")
+    if sep and tail.isdigit():
+        return head
+    return name
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def makespan_percentiles(jobs: Sequence["MigrationJob"],
+                         percentiles: Sequence[float] = PERCENTILES
+                         ) -> dict[str, float]:
+    """p50/p95/p99 of per-job completion time (submission to end).
+
+    Only finished jobs contribute; an empty batch returns zeros.
+    """
+    times = sorted(job.ended_at - job.submitted_at for job in jobs
+                   if job.ended_at is not None)
+    return {
+        f"p{pct:g}": (_percentile(times, pct) if times else 0.0)
+        for pct in percentiles
+    }
+
+
+@dataclass
+class TenantSLO:
+    """One tenant's downtime tally against its budget."""
+
+    tenant: str
+    #: Summed downtime across the tenant's successful migrations.
+    downtime: float = 0.0
+    #: Budget in seconds; None = no budget configured.
+    budget: Optional[float] = None
+    migrations: int = 0
+    failed: int = 0
+
+    @property
+    def violated(self) -> bool:
+        """A tenant violates on budget overrun *or* a failed migration
+        (a failed move means the VM never landed — worse than slow)."""
+        if self.failed:
+            return True
+        return self.budget is not None and self.downtime > self.budget
+
+
+@dataclass
+class SLOReport:
+    """Aggregate service-level view of one migration wave."""
+
+    total: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    #: First submission -> last end across the wave.
+    makespan: float = 0.0
+    #: ``{"p50": ..., "p95": ..., "p99": ...}`` of per-job times.
+    percentiles: dict[str, float] = field(default_factory=dict)
+    tenants: dict[str, TenantSLO] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> list[TenantSLO]:
+        return [t for t in self.tenants.values() if t.violated]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"jobs      : {self.succeeded}/{self.total} succeeded"
+            + (f" ({self.failed} failed)" if self.failed else ""),
+            f"makespan  : {self.makespan:.3f} s",
+            "per-job   : " + "  ".join(
+                f"{k}={v:.3f}s" for k, v in sorted(self.percentiles.items())),
+        ]
+        if self.violations:
+            lines.append("VIOLATIONS:")
+            for t in sorted(self.violations, key=lambda t: t.tenant):
+                why = (f"{t.failed} failed migration(s)" if t.failed else
+                       f"downtime {t.downtime * 1e3:.1f} ms "
+                       f"> budget {t.budget * 1e3:.1f} ms")
+                lines.append(f"  {t.tenant}: {why}")
+        else:
+            lines.append("all tenant downtime budgets met")
+        return "\n".join(lines)
+
+
+def slo_report(jobs: Sequence["MigrationJob"],
+               budgets: Optional[Mapping[str, float]] = None,
+               default_budget: Optional[float] = None,
+               tenant_of: Optional[Callable[[str], str]] = None
+               ) -> SLOReport:
+    """Fold a batch of jobs into an :class:`SLOReport`.
+
+    ``budgets`` maps tenant name -> downtime budget in seconds;
+    tenants absent from the map get ``default_budget`` (None = no
+    budget, never violated on downtime).  ``tenant_of`` maps a VM name
+    to its tenant (default: :func:`default_tenant`).
+    """
+    budgets = dict(budgets or {})
+    name_to_tenant = tenant_of if tenant_of is not None else default_tenant
+    report = SLOReport()
+    finished = [job for job in jobs if job.ended_at is not None]
+    report.total = len(jobs)
+    for job in jobs:
+        tenant_name = name_to_tenant(job.domain.name)
+        tenant = report.tenants.get(tenant_name)
+        if tenant is None:
+            tenant = TenantSLO(
+                tenant=tenant_name,
+                budget=budgets.get(tenant_name, default_budget))
+            report.tenants[tenant_name] = tenant
+        tenant.migrations += 1
+        if job.succeeded and job.report is not None:
+            report.succeeded += 1
+            tenant.downtime += job.report.downtime
+        elif job.status == "failed":
+            report.failed += 1
+            tenant.failed += 1
+    if finished:
+        report.makespan = (max(job.ended_at for job in finished)
+                           - min(job.submitted_at for job in finished))
+    report.percentiles = makespan_percentiles(jobs)
+    return report

@@ -123,10 +123,13 @@ def build_cluster(
         for i, host in enumerate(hosts):
             migrator.topology.connect(host, f"rack{i // rack_size}",
                                       link_bandwidth, link_latency)
+            migrator.topology.tag(host, "host")
         nracks = (nhosts + rack_size - 1) // rack_size
         for r in range(nracks):
             migrator.topology.connect(f"rack{r}", "core", link_bandwidth,
                                       link_latency)
+            migrator.topology.tag(f"rack{r}", "rack")
+        migrator.topology.tag("core", "core")
     else:
         raise ReproError(f"unknown wiring {wiring!r} "
                          "(expected full, star, or rack)")

@@ -42,6 +42,21 @@ class MigrationError(ReproError):
     destination disagree about geometry, VM in the wrong lifecycle state)."""
 
 
+class NoValidHost(MigrationError):
+    """Raised when placement runs out of candidates: every host in the
+    cluster was eliminated by the active filter chain (crashed, in a
+    maintenance window, over capacity, failing affinity, ...).
+
+    Carries a per-filter elimination breakdown so callers can report
+    *why* the cluster had no room, nova-style.
+    """
+
+    def __init__(self, message: str, eliminated: dict | None = None) -> None:
+        super().__init__(message)
+        #: filter name -> number of candidates that filter rejected.
+        self.eliminated = dict(eliminated or {})
+
+
 class MigrationAborted(MigrationError):
     """Raised when a migration is proactively aborted, e.g. because the
     storage dirty rate exceeds the transfer rate for too many iterations."""

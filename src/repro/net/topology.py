@@ -33,6 +33,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Topology nodes are referred to by name; hosts may be passed directly.
 NodeRef = Union[str, "Host"]
 
+#: Tier tags recognised by :meth:`Topology.tag`.  ``host`` nodes are
+#: leaves, ``rack`` nodes are top-of-rack switches, ``core``/``pod``
+#: nodes form the inter-rack fabric.
+TIERS = ("host", "rack", "pod", "core")
+
+#: Tiers whose mutual links form the inter-rack fabric (the lookahead
+#: bound for sharded simulation is the fastest of these links).
+_FABRIC_TIERS = frozenset({"rack", "pod", "core"})
+
 
 def _node_name(node: NodeRef) -> str:
     return node if isinstance(node, str) else node.name
@@ -105,6 +114,10 @@ class Topology:
         #: strings and do not appear here).
         self.hosts: dict[str, "Host"] = {}
         self._adjacency: dict[str, set[str]] = {}
+        #: node name -> tier tag ("host"/"rack"/"pod"/"core").  Untagged
+        #: nodes default to "host" for Host objects, "rack" for strings
+        #: (historic single-switch topologies behave as one big rack).
+        self.tiers: dict[str, str] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -158,6 +171,72 @@ class Topology:
         if link is not None:
             return link.backward
         raise MigrationError(f"no link between {a!r} and {b!r}")
+
+    # -- tiers / sharding --------------------------------------------------
+
+    def tag(self, node: NodeRef, tier: str) -> None:
+        """Assign ``node`` to a tier (see :data:`TIERS`).
+
+        Tier tags drive the rack partition used by
+        :mod:`repro.sim.sharded` and the :meth:`lookahead` bound; they do
+        not affect routing.
+        """
+        if tier not in TIERS:
+            raise MigrationError(
+                f"unknown tier {tier!r} (expected one of {TIERS})")
+        self.tiers[_node_name(node)] = tier
+
+    def tier_of(self, node: NodeRef) -> str:
+        """The node's tier tag (defaulted — see :attr:`tiers`)."""
+        name = _node_name(node)
+        tier = self.tiers.get(name)
+        if tier is not None:
+            return tier
+        return "host" if name in self.hosts else "rack"
+
+    def rack_of(self, host: NodeRef) -> Optional[str]:
+        """The rack-tier switch this host hangs off, or None.
+
+        Deterministic: a host wired to several rack switches reports the
+        lexicographically first.
+        """
+        name = _node_name(host)
+        for neighbour in sorted(self._adjacency.get(name, ())):
+            if self.tier_of(neighbour) == "rack":
+                return neighbour
+        return None
+
+    def racks(self) -> dict[str, list[str]]:
+        """rack switch name -> sorted host names wired to it."""
+        out: dict[str, list[str]] = {}
+        for name in sorted(self.hosts):
+            rack = self.rack_of(name)
+            if rack is not None:
+                out.setdefault(rack, []).append(name)
+        return out
+
+    def inter_rack_links(self) -> list[DuplexLink]:
+        """Duplex links whose both endpoints sit in the inter-rack fabric
+        (rack/pod/core tiers), in deterministic insertion order."""
+        return [link for (a, b), link in self.links.items()
+                if self.tier_of(a) in _FABRIC_TIERS
+                and self.tier_of(b) in _FABRIC_TIERS]
+
+    def lookahead(self) -> float:
+        """Conservative-synchronization bound for sharded simulation.
+
+        Any interaction between hosts in *different* racks must cross at
+        least one fabric link, so no shard can affect another sooner than
+        the fastest such link's one-way propagation latency.  Per-rack
+        engines may therefore safely advance ``lookahead()`` past the
+        global minimum event time (see :mod:`repro.sim.sharded`).
+        """
+        fabric = self.inter_rack_links()
+        if not fabric:
+            raise MigrationError(
+                "topology has no inter-rack fabric links; tag rack/core "
+                "tiers with Topology.tag() before sharding")
+        return min(link.forward.latency for link in fabric)
 
     # -- routing -----------------------------------------------------------
 

@@ -33,9 +33,11 @@ the ``run_*_experiment`` helpers), or use ``repro-sim trace`` /
 from .export import (
     SCHEMA_VERSION,
     dump_chrome_trace,
+    dump_chrome_trace_merged,
     dump_json,
     phase_durations,
     to_chrome_trace,
+    to_chrome_trace_merged,
     to_json,
 )
 from .metrics import (
@@ -76,9 +78,11 @@ __all__ = [
     "Span",
     "Tracer",
     "dump_chrome_trace",
+    "dump_chrome_trace_merged",
     "dump_json",
     "install",
     "phase_durations",
     "to_chrome_trace",
+    "to_chrome_trace_merged",
     "to_json",
 ]

@@ -10,6 +10,7 @@ from .engine import Environment
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout, NORMAL, URGENT
 from .process import Process
 from .resources import Container, PriorityResource, Request, Resource, Store
+from .sharded import Shard, ShardedEngine
 from .timeline import Timeline
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "Process",
     "Request",
     "Resource",
+    "Shard",
+    "ShardedEngine",
     "Store",
     "Timeline",
     "Timeout",

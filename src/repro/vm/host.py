@@ -44,6 +44,10 @@ class Host:
         #: Set by the fault injector when this machine dies; a migration
         #: touching a crashed host fails immediately.
         self.crashed = False
+        #: Set while the machine is in a maintenance window: it keeps
+        #: running its residents (and can be evacuated), but placement
+        #: must never pick it as a *destination*.
+        self.maintenance = False
         #: Durable bitmap stores on this host's stable storage, keyed by
         #: ``(domain_id, purpose)`` — purpose ``"precopy"`` holds the
         #: migration tracking bitmap, ``"backup"`` a backup chain's.
@@ -167,6 +171,21 @@ class Host:
                                purpose: str = "precopy") -> bool:
         store = self._bitmap_stores.get((domain_id, purpose))
         return store is not None and store.recoverable
+
+    # -- maintenance windows ---------------------------------------------
+
+    def enter_maintenance(self) -> None:
+        """Open a maintenance window: residents keep running, but the
+        placement pipeline stops offering this host as a destination."""
+        self.maintenance = True
+
+    def exit_maintenance(self) -> None:
+        self.maintenance = False
+
+    @property
+    def available(self) -> bool:
+        """True when placement may target this host (up, not draining)."""
+        return not self.crashed and not self.maintenance
 
     # -- crash / restart lifecycle ---------------------------------------
 

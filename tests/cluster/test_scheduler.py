@@ -236,6 +236,67 @@ class TestFailureContainment:
         assert loads["host02"] == 1  # resident only, no stuck inbound
 
 
+class TestReplaceablePlacement:
+    """Mid-churn crash regression: an evacuation whose scheduler-chosen
+    destination dies while the job queues must be re-placed at admission
+    instead of migrating into a dead host."""
+
+    def _queued_evacuation(self, bed):
+        # Occupy the single admission slot so the evacuation job queues
+        # long enough for its destination to fail underneath it.
+        blocker = bed.scheduler.submit(bed.domains_on(bed.hosts[3])[0],
+                                       bed.hosts[2])
+        jobs = bed.scheduler.evacuate(bed.hosts[0])
+        assert len(jobs) == 1
+        # Least-loaded + name tie-break: host01 is the planned target.
+        assert jobs[0].destination.name == "host01"
+        assert jobs[0].replaceable
+        return blocker, jobs[0]
+
+    def test_crashed_destination_is_replaced_at_admission(self):
+        from repro.faults import FaultInjector, FaultPlan
+
+        bed = build_cluster(nhosts=4, vms_per_host=1, max_concurrent=1,
+                            **SMALL)
+        blocker, job = self._queued_evacuation(bed)
+        plan = FaultPlan().crash("host01", at=1e-4, down_for=1000.0)
+        FaultInjector(bed.env, plan).inject(bed.migrator)
+        bed.scheduler.drain([blocker, job])
+        assert blocker.succeeded
+        assert job.succeeded
+        assert job.destination.name != "host01"
+        assert not bed.hosts[0].domains
+        assert_conserved(bed.migrator.migrations)
+
+    def test_maintenance_destination_is_replaced_at_admission(self):
+        bed = build_cluster(nhosts=4, vms_per_host=1, max_concurrent=1,
+                            **SMALL)
+        blocker, job = self._queued_evacuation(bed)
+        bed.hosts[1].enter_maintenance()
+        bed.scheduler.drain([blocker, job])
+        assert blocker.succeeded and job.succeeded
+        assert job.destination.name != "host01"
+
+    def test_explicit_submission_still_fails_not_replaced(self):
+        from repro.faults import FaultInjector, FaultPlan
+
+        bed = build_cluster(nhosts=4, vms_per_host=1, max_concurrent=1,
+                            **SMALL)
+        blocker = bed.scheduler.submit(bed.domains_on(bed.hosts[3])[0],
+                                       bed.hosts[2])
+        explicit = bed.scheduler.submit(bed.domains_on(bed.hosts[0])[0],
+                                        bed.hosts[1])
+        assert not explicit.replaceable
+        plan = FaultPlan().crash("host01", at=1e-4, down_for=1000.0)
+        FaultInjector(bed.env, plan).inject(bed.migrator)
+        bed.scheduler.drain([blocker, explicit])
+        assert blocker.succeeded
+        # The user asked for host01 specifically; the scheduler must not
+        # silently reroute an explicit placement.
+        assert explicit.status == "failed"
+        assert explicit.destination.name == "host01"
+
+
 class TestWirings:
     @pytest.mark.parametrize("wiring", ["full", "star", "rack"])
     def test_evacuation_works_on_every_wiring(self, wiring):

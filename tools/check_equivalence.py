@@ -81,6 +81,67 @@ def _run_fault_retry() -> dict:
             "workload_bytes": bed.workload.bytes_processed}
 
 
+#: The sharded-equivalence wave: (VM name, destination host name).
+#: Two contending intra-rack flows per rack plus one cross-rack
+#: migration that transplants between shards through the core.
+_SHARDED_MOVES = (
+    ("vm-host00-0", "host01"),
+    ("vm-host00-1", "host01"),
+    ("vm-host03-0", "host04"),
+    ("vm-host03-1", "host04"),
+    ("vm-host02-0", "host05"),
+)
+
+
+def _ledger(topology) -> dict:
+    """Directional link name -> bytes sent (non-zero links only)."""
+    ledger = {}
+    for duplex in topology.links.values():
+        for link in (duplex.forward, duplex.backward):
+            if link.bytes_sent:
+                ledger[link.name] = ledger.get(link.name, 0) + link.bytes_sent
+    return dict(sorted(ledger.items()))
+
+
+def _run_sharded_cluster() -> dict:
+    """The same 2-rack migration wave on the monolithic engine and on
+    the sharded per-rack engine; asserts reports and byte ledgers are
+    identical, then fixtures the (shared) result."""
+    from repro.cluster import build_cluster, build_sharded_cluster
+
+    bed = build_cluster(nhosts=6, vms_per_host=2, wiring="rack",
+                        rack_size=3, nblocks=512, npages=64,
+                        max_concurrent=8)
+    by_name = {domain.name: domain for domain in bed.domains}
+    mono_jobs = [bed.scheduler.submit(by_name[vm], bed.host(dest))
+                 for vm, dest in _SHARDED_MOVES]
+    bed.scheduler.drain(mono_jobs)
+    mono = {"reports": [_report_dict(job.report) for job in mono_jobs],
+            "makespan": bed.scheduler.makespan(mono_jobs),
+            "ledger": _ledger(bed.migrator.topology)}
+
+    cluster = build_sharded_cluster(nracks=2, hosts_per_rack=3,
+                                    vms_per_host=2, nblocks=512,
+                                    npages=64, max_concurrent=8)
+    by_name = {domain.name: domain for domain in cluster.domains}
+    shard_jobs = [cluster.submit(by_name[vm], dest)
+                  for vm, dest in _SHARDED_MOVES]
+    cluster.drain(shard_jobs)
+    cluster.assert_conserved()
+    sharded = {"reports": [_report_dict(job.report) for job in shard_jobs],
+               "makespan": cluster.makespan(shard_jobs),
+               "ledger": cluster.link_ledger()}
+
+    diffs: list = []
+    _diff("sharded-vs-mono", json.loads(json.dumps(mono)),
+          json.loads(json.dumps(sharded)), diffs)
+    if diffs:
+        raise AssertionError(
+            "sharded engine diverged from monolithic on the fixture "
+            "wave:\n    " + "\n    ".join(diffs[:20]))
+    return mono
+
+
 def scenarios() -> dict:
     """Name -> thunk for every fixture scenario (deterministic order)."""
     from repro.analysis.experiments import BASELINE_SCHEMES
@@ -90,6 +151,7 @@ def scenarios() -> dict:
         table[f"scheme:{scheme}"] = (
             lambda scheme=scheme: _run_scheme(scheme))
     table["fault-retry:incremental"] = _run_fault_retry
+    table["cluster:sharded-vs-monolithic"] = _run_sharded_cluster
     return table
 
 
