@@ -6,6 +6,7 @@ Modes::
     python benchmarks/perf/run.py                       # measure + print
     python benchmarks/perf/run.py --record optimized    # + write to JSON
     python benchmarks/perf/run.py --smoke --check       # CI regression gate
+    python benchmarks/perf/run.py --merge scale_1k_host # update one row
 
 ``BENCH_PERF.json`` (repo root) keeps one section per label
 (``baseline`` = pre-overhaul engine, ``optimized`` = current code), each
@@ -114,6 +115,11 @@ def main(argv=None) -> int:
     parser.add_argument("--record", metavar="LABEL",
                         help="store results under this label "
                              "(e.g. baseline, optimized) in the JSON file")
+    parser.add_argument("--merge", action="append", metavar="SCENARIO",
+                        choices=sorted(SCENARIOS),
+                        help="run just this scenario (repeatable) and merge "
+                             "its row into the recorded label, preserving "
+                             "every other scenario's committed numbers")
     parser.add_argument("--json", default=DEFAULT_JSON,
                         help="record file (default: BENCH_PERF.json)")
     parser.add_argument("--check", action="store_true",
@@ -124,16 +130,30 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
+    only = args.only
+    if args.merge:
+        only = sorted(set(only or []) | set(args.merge))
     print(f"perf suite ({mode}, best of {args.repeat}):")
     start = perf_counter()
-    results = run_suite(args.smoke, args.repeat, only=args.only)
+    results = run_suite(args.smoke, args.repeat, only=only)
     print(f"suite wall time: {perf_counter() - start:.1f}s")
 
     status = 0
     record = load_record(args.json)
     if args.check:
         status = check(results, record, mode, args.tolerance)
-    if args.record:
+    if args.merge:
+        # Row-level update: only the scenarios just measured are touched,
+        # so a new scenario can be added (or one refreshed) without
+        # re-measuring — and silently clobbering — the whole suite.
+        label = args.record or "optimized"
+        record.setdefault("machine", {}).update(
+            python=platform.python_version(), platform=platform.platform())
+        record.setdefault(label, {}).setdefault(mode, {}).update(results)
+        save_record(args.json, record)
+        print(f"merged {', '.join(sorted(results))} into "
+              f"{label!r}/{mode} in {args.json}")
+    elif args.record:
         record.setdefault("machine", {}).update(
             python=platform.python_version(), platform=platform.platform())
         record.setdefault(args.record, {})[mode] = results

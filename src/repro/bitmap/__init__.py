@@ -9,7 +9,7 @@ the layout named in a :class:`~repro.core.config.MigrationConfig`.
 from __future__ import annotations
 
 from .base import BlockBitmap
-from .flat import FlatBitmap
+from .flat import FlatBitmap, union_indices
 from .layered import DEFAULT_LEAF_BITS, LayeredBitmap
 from .granularity import (
     GranularityCost,
@@ -46,4 +46,5 @@ __all__ = [
     "granularity_cost",
     "make_bitmap",
     "sectors_to_block",
+    "union_indices",
 ]

@@ -114,6 +114,29 @@ class BlockBitmap(abc.ABC):
     def union_update(self, other: "BlockBitmap") -> None:
         """In-place OR: blocks dirty in ``other`` become dirty here too."""
 
+    def difference_update(self, other: "BlockBitmap") -> None:
+        """In-place AND-NOT: blocks dirty in ``other`` become clean here.
+
+        The pre/post-copy "already shipped" subtraction.  Concrete
+        layouts may override with a whole-word pass; this default works
+        through the scan + bulk-clear interface.
+        """
+        if other.nbits != self.nbits:
+            raise BitmapError(
+                f"size mismatch: {self.nbits} vs {other.nbits} blocks")
+        mine = self.dirty_indices()
+        if mine.size:
+            self.clear_many(mine[other.test_many(mine)])
+
+    def intersection_update(self, other: "BlockBitmap") -> None:
+        """In-place AND: only blocks dirty in *both* maps stay dirty."""
+        if other.nbits != self.nbits:
+            raise BitmapError(
+                f"size mismatch: {self.nbits} vs {other.nbits} blocks")
+        mine = self.dirty_indices()
+        if mine.size:
+            self.clear_many(mine[~other.test_many(mine)])
+
     @abc.abstractmethod
     def serialized_nbytes(self) -> int:
         """Bytes needed to send this bitmap over the wire.

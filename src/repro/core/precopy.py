@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
-from ..bitmap import make_bitmap
+from ..bitmap import make_bitmap, union_indices
 from ..storage.blkback import BackendDriver
 from .config import MigrationConfig
 from .metrics import IterationStats
@@ -108,8 +108,10 @@ class DiskPreCopier:
                                                   False))
             indices = surviving.dirty_indices()
             if self.initial_indices is not None:
-                indices = np.union1d(
-                    indices, np.asarray(self.initial_indices, dtype=np.int64))
+                # Whole-bitmap merge: scatter both sets into one scratch
+                # map and scan, instead of a sort-based union1d.
+                indices = union_indices(vbd.nblocks, indices,
+                                        self.initial_indices)
             if self.store is not None and self.store.is_open:
                 # The retry's first-iteration work set is pending again by
                 # definition (dedup in the store makes this nearly free).

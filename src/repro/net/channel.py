@@ -80,6 +80,11 @@ class Channel:
         #: Earliest time the next delivery may happen: deliveries are FIFO
         #: even when decompression gives messages different pipe delays.
         self._delivery_floor = 0.0
+        #: Cached ``(registry, {category: counter})`` for the per-send byte
+        #: metric: the counter handle is resolved once per category instead
+        #: of name-building and registry-looking-up on every chunk.  Keyed
+        #: on registry identity so instrumenting the env rebuilds the cache.
+        self._counter_cache: tuple = (None, {})
 
     # -- sending -------------------------------------------------------------
 
@@ -115,7 +120,16 @@ class Channel:
             raise NetworkError(f"{self.name}: send failed: {exc}") from exc
         self.bytes_by_category[category] += nbytes
         self.messages_sent += 1
-        self.env.metrics.counter(f"chan.{category}.bytes").inc(nbytes)
+        metrics = self.env.metrics
+        registry, by_category = self._counter_cache
+        if registry is not metrics:
+            by_category = {}
+            self._counter_cache = (metrics, by_category)
+        counter = by_category.get(category)
+        if counter is None:
+            counter = by_category[category] = metrics.counter(
+                f"chan.{category}.bytes")
+        counter.inc(nbytes)
         self.env.process(self._deliver(message, decompress),
                          name=f"{self.name}:deliver")
 

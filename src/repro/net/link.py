@@ -40,6 +40,10 @@ class Link:
         self._wire = Resource(env, capacity=1)
         self.bytes_sent = 0
         self.busy_time = 0.0
+        #: Cached ``(registry, counter)`` for the per-transmit byte metric,
+        #: so the hot path skips the name build and registry lookup.  Keyed
+        #: on registry identity: instrumenting the env rebuilds the cache.
+        self._bytes_counter = None
         #: Optional :class:`~repro.faults.injector.LinkFaultState` installed
         #: by a fault injector.  None (the default) keeps the pristine
         #: fast path: no extra branches taken, timing byte-identical.
@@ -82,7 +86,12 @@ class Link:
             yield self.env.timeout(duration)
             self.busy_time += duration
         self.bytes_sent += nbytes
-        self.env.metrics.counter(f"link.{self.name}.bytes").inc(nbytes)
+        metrics = self.env.metrics
+        cached = self._bytes_counter
+        if cached is None or cached[0] is not metrics:
+            cached = self._bytes_counter = (
+                metrics, metrics.counter(f"link.{self.name}.bytes"))
+        cached[1].inc(nbytes)
 
     @property
     def queue_length(self) -> int:

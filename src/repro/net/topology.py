@@ -118,6 +118,11 @@ class Topology:
         #: nodes default to "host" for Host objects, "rack" for strings
         #: (historic single-switch topologies behave as one big rack).
         self.tiers: dict[str, str] = {}
+        #: Cached :meth:`lookahead` result; ``None`` = stale.  Invalidated
+        #: by every topology mutation (:meth:`connect` / :meth:`tag`) —
+        #: the sharded drain loop queries the bound per window, and the
+        #: fabric scan is O(links) each time without the cache.
+        self._lookahead_cache: "float | None" = None
 
     # -- construction ------------------------------------------------------
 
@@ -153,6 +158,7 @@ class Topology:
         self.links[(name_a, name_b)] = link
         self._adjacency.setdefault(name_a, set()).add(name_b)
         self._adjacency.setdefault(name_b, set()).add(name_a)
+        self._lookahead_cache = None
         return link
 
     def duplex_between(self, a: NodeRef, b: NodeRef
@@ -185,6 +191,7 @@ class Topology:
             raise MigrationError(
                 f"unknown tier {tier!r} (expected one of {TIERS})")
         self.tiers[_node_name(node)] = tier
+        self._lookahead_cache = None
 
     def tier_of(self, node: NodeRef) -> str:
         """The node's tier tag (defaulted — see :attr:`tiers`)."""
@@ -230,13 +237,22 @@ class Topology:
         the fastest such link's one-way propagation latency.  Per-rack
         engines may therefore safely advance ``lookahead()`` past the
         global minimum event time (see :mod:`repro.sim.sharded`).
+
+        The bound is cached until the next :meth:`connect` or
+        :meth:`tag` — link latencies are construction-time constants, so
+        only topology mutation can change it.
         """
+        cached = self._lookahead_cache
+        if cached is not None:
+            return cached
         fabric = self.inter_rack_links()
         if not fabric:
             raise MigrationError(
                 "topology has no inter-rack fabric links; tag rack/core "
                 "tiers with Topology.tag() before sharding")
-        return min(link.forward.latency for link in fabric)
+        bound = min(link.forward.latency for link in fabric)
+        self._lookahead_cache = bound
+        return bound
 
     # -- routing -----------------------------------------------------------
 

@@ -38,15 +38,49 @@ class Environment:
     loop body runs once per event and dominates wall-clock at cluster
     scale, so it trades a little repetition for a measurably hotter path.
     :meth:`step` remains the single-event reference implementation.
+
+    **Calendar queue.**  Under Timeout-dominated load the pending set can
+    grow to tens of thousands of entries, and every push/pop then pays
+    ``O(log n)`` against the full heap.  When the queue crosses
+    ``calendar_threshold`` entries the environment *engages* a two-level
+    scheme: a small near-term heap (the current time bucket and earlier)
+    plus far-term buckets keyed by ``int(t / width)``.  Far inserts are a
+    dict lookup + list append; when the near heap drains, the next whole
+    bucket is heapified in at once.  Dispatch order is provably unchanged:
+    ``int(t / width)`` is monotone in ``t``, buckets are consumed in key
+    order, and within a bucket the original ``(time, priority, seq)``
+    tuples restore the exact global order — so the bit-identical
+    equivalence gate holds with the calendar engaged or not.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "tracer", "metrics", "events_processed")
+    #: Engage the calendar when the heap outgrows this many entries
+    #: (constructor default); disengage below ``_CAL_LO`` to keep tiny
+    #: simulations on the plain-heap fast path.
+    _CAL_LO = 256
+    #: Target mean bucket occupancy when sizing the bucket width.
+    _CAL_OCCUPANCY = 64
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    __slots__ = ("_now", "_queue", "_eid", "_active_process",
+                 "tracer", "metrics", "events_processed",
+                 "_far", "_far_keys", "_far_count",
+                 "_cal_width", "_cal_k", "_cal_threshold")
+
+    def __init__(self, initial_time: float = 0.0,
+                 calendar_threshold: Optional[int] = 2048) -> None:
         self._now = float(initial_time)
         #: Heap of (time, priority, sequence, event).
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Far-term calendar buckets: bucket key -> list of heap entries.
+        self._far: dict[int, list[tuple[float, int, int, Event]]] = {}
+        #: Min-heap of non-empty far bucket keys.
+        self._far_keys: list[int] = []
+        self._far_count = 0
+        #: Bucket width in simulated seconds; 0.0 means "calendar off"
+        #: (every insert goes straight to the heap, as before).
+        self._cal_width = 0.0
+        #: Highest bucket key already merged into the near heap.
+        self._cal_k = 0
+        self._cal_threshold = int(calendar_threshold or 0)
         self._eid = 0
         self._active_process: Optional[Process] = None
         #: Span/instant recorder (:class:`repro.obs.Tracer` when installed).
@@ -98,14 +132,112 @@ class Environment:
             raise StaleSchedulingError(
                 f"cannot schedule {event!r} {delay!r}s into the past")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        when = self._now + delay
+        entry = (when, priority, self._eid, event)
+        width = self._cal_width
+        if width:
+            key = int(when / width)
+            if key > self._cal_k:
+                self._defer(key, entry)
+                return
+        heapq.heappush(self._queue, entry)
+
+    # -- calendar-queue internals -----------------------------------------
+
+    def _defer(self, key: int, entry: tuple) -> None:
+        """File ``entry`` in the far-term bucket ``key`` (calendar engaged)."""
+        bucket = self._far.get(key)
+        if bucket is None:
+            self._far[key] = [entry]
+            heapq.heappush(self._far_keys, key)
+        else:
+            bucket.append(entry)
+        self._far_count += 1
+
+    def _pull_far(self, limit_key: Optional[int] = None) -> bool:
+        """Merge the earliest far bucket into the near heap.
+
+        Returns False (and merges nothing) when no buckets remain or the
+        earliest bucket's key exceeds ``limit_key``.  The near heap's list
+        identity is preserved — the inlined ``_run`` loops hold an alias.
+        """
+        if not self._far_count:
+            return False
+        key = self._far_keys[0]
+        if limit_key is not None and key > limit_key:
+            return False
+        heapq.heappop(self._far_keys)
+        bucket = self._far.pop(key)
+        self._far_count -= len(bucket)
+        queue = self._queue
+        queue.extend(bucket)
+        heapq.heapify(queue)
+        self._cal_k = key
+        return True
+
+    def _engage(self, width: Optional[float] = None) -> None:
+        """Switch to calendar mode, repartitioning the pending heap.
+
+        ``width`` is normally derived from the current queue's time span
+        (targeting ``_CAL_OCCUPANCY`` entries per bucket); tests may pass
+        an explicit width.  A no-op when the span is degenerate.
+        """
+        queue = self._queue
+        if width is None:
+            if len(queue) < 2:
+                return
+            span = max(entry[0] for entry in queue) - self._now
+            if span <= 0.0:
+                return
+            width = max(span * self._CAL_OCCUPANCY / len(queue),
+                        span / 4096.0)
+        if width <= 0.0:
+            return
+        self._cal_width = width
+        self._cal_k = key0 = int(self._now / width)
+        near = []
+        for entry in queue:
+            key = int(entry[0] / width)
+            if key <= key0:
+                near.append(entry)
+            else:
+                self._defer(key, entry)
+        queue[:] = near
+        heapq.heapify(queue)
+
+    def _disengage(self) -> None:
+        """Flush every far bucket back into the heap and turn the calendar off."""
+        if self._far_count:
+            queue = self._queue
+            for bucket in self._far.values():
+                queue.extend(bucket)
+            heapq.heapify(queue)
+        self._far.clear()
+        self._far_keys.clear()
+        self._far_count = 0
+        self._cal_width = 0.0
+        self._cal_k = 0
+
+    def _maybe_adapt(self) -> None:
+        """Periodic load check from the dispatch loops: engage the calendar
+        above the threshold, drop back to the plain heap when the pending
+        set shrinks below ``_CAL_LO``."""
+        if self._cal_width:
+            if len(self._queue) + self._far_count < self._CAL_LO:
+                self._disengage()
+        elif self._cal_threshold and len(self._queue) > self._cal_threshold:
+            self._engage()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue and self._far_count:
+            self._pull_far()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        if not self._queue and self._far_count:
+            self._pull_far()
         try:
             when, _prio, _eid, event = heapq.heappop(self._queue)
         except IndexError:
@@ -156,18 +288,23 @@ class Environment:
 
         if until is None:
             try:
-                while queue:
-                    when, _prio, _eid, event = heappop(queue)
-                    self._now = when
-                    processed += 1
-                    callbacks, event.callbacks = event.callbacks, None
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        if isinstance(event._value, BaseException):
-                            raise event._value
-                        raise SimulationError(
-                            f"unhandled event failure: {event._value!r}")
+                while queue or self._far_count:
+                    while queue:
+                        when, _prio, _eid, event = heappop(queue)
+                        self._now = when
+                        processed += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            if isinstance(event._value, BaseException):
+                                raise event._value
+                            raise SimulationError(
+                                f"unhandled event failure: {event._value!r}")
+                        if not processed & 2047:
+                            self._maybe_adapt()
+                    if not self._pull_far():
+                        break
             finally:
                 self.events_processed += processed
             return None
@@ -180,7 +317,7 @@ class Environment:
                     lambda _e: done.__setitem__(0, True))
                 try:
                     while not done[0]:
-                        if not queue:
+                        if not queue and not self._pull_far():
                             raise SimulationError(
                                 f"run(until={stop_event!r}) but the event "
                                 f"queue drained first")
@@ -195,6 +332,8 @@ class Environment:
                                 raise event._value
                             raise SimulationError(
                                 f"unhandled event failure: {event._value!r}")
+                        if not processed & 2047:
+                            self._maybe_adapt()
                 finally:
                     self.events_processed += processed
             if not stop_event._ok:
@@ -210,19 +349,39 @@ class Environment:
             raise StaleSchedulingError(
                 f"cannot run until {horizon!r}; clock is already at {self._now!r}")
         try:
-            while queue and queue[0][0] <= horizon:
-                when, _prio, _eid, event = heappop(queue)
-                self._now = when
-                processed += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    if isinstance(event._value, BaseException):
-                        raise event._value
-                    raise SimulationError(
-                        f"unhandled event failure: {event._value!r}")
+            while True:
+                while queue and queue[0][0] <= horizon:
+                    when, _prio, _eid, event = heappop(queue)
+                    self._now = when
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        if isinstance(event._value, BaseException):
+                            raise event._value
+                        raise SimulationError(
+                            f"unhandled event failure: {event._value!r}")
+                    if not processed & 2047:
+                        self._maybe_adapt()
+                # int(t / width) is monotone in t, so every event at or
+                # before the horizon lives in a bucket keyed at or before
+                # int(horizon / width); pulling up to that key can never
+                # strand an in-horizon event in the far calendar.
+                width = self._cal_width
+                if not width or not self._pull_far(int(horizon / width)):
+                    break
         finally:
             self.events_processed += processed
         self._now = horizon
+        width = self._cal_width
+        if width:
+            # The clock jumped past dispatched events, so re-anchor the
+            # current-bucket key: triggered events insert at ``now`` on the
+            # near heap, which is only order-safe while no far bucket at or
+            # before ``int(now / width)`` exists (all such buckets were
+            # pulled above).
+            key = int(horizon / width)
+            if key > self._cal_k:
+                self._cal_k = key
         return None

@@ -95,8 +95,10 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, NORMAL, env._eid, self))
+        eid = env._eid = env._eid + 1
+        # Triggered events fire *now*, which the engine keeps at or before
+        # the calendar's current bucket — straight to the near heap.
+        heappush(env._queue, (env._now, NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -108,8 +110,8 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, NORMAL, env._eid, self))
+        eid = env._eid = env._eid + 1
+        heappush(env._queue, (env._now, NORMAL, eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -151,8 +153,17 @@ class Timeout(Event):
         self._value = value
         self._defused = False
         self.delay = delay
-        env._eid += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        eid = env._eid = env._eid + 1
+        when = env._now + delay
+        width = env._cal_width
+        if width:
+            key = int(when / width)
+            if key > env._cal_k:
+                env._defer(key, (when, NORMAL, eid, self))
+            else:
+                heappush(env._queue, (when, NORMAL, eid, self))
+        else:
+            heappush(env._queue, (when, NORMAL, eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

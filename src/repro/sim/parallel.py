@@ -1,0 +1,158 @@
+"""Fork-based parallel execution of independent simulation work.
+
+The sharded engine's quiescent fast path (no cross-shard sources, no
+queued messages) proves that shards cannot influence each other — which
+is exactly the precondition for running them in separate *processes*.
+:func:`fork_map` is the primitive: it forks worker processes, runs each
+assigned thunk in a child against the copy-on-write snapshot of the
+parent's heap, and ships only the (picklable) return values back over a
+pipe.  Generators, live Environments and the rest of the object graph
+never cross the process boundary — the child *owns* its copy end to
+end, so the usual "can't pickle a coroutine" wall never comes up.
+
+Determinism: thunks are assigned round-robin in index order, each child
+executes its thunks sequentially, and results are returned in the input
+order — the schedule is a pure function of ``len(thunks)`` and the
+worker count, never of OS timing.  Combined with the per-shard
+seed-split streams (``default_rng((seed, shard))``) a forked run
+produces bit-identical per-shard results to an inline run.
+
+On platforms without ``os.fork`` (or with ``REPRO_FORK_WORKERS=0``)
+everything degrades to inline execution with identical semantics.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+import traceback
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import SimulationError
+
+
+class WorkerError(SimulationError):
+    """A thunk raised inside a forked worker.
+
+    Carries the child-side traceback text (``child_traceback``) since
+    the original frames died with the worker process.
+    """
+
+    def __init__(self, message: str, child_traceback: str = "") -> None:
+        super().__init__(message)
+        self.child_traceback = child_traceback
+
+
+def fork_available() -> bool:
+    """True when this platform can fork worker processes."""
+    return hasattr(os, "fork")
+
+
+def worker_count(njobs: int, nworkers: Optional[int] = None) -> int:
+    """The effective worker count for ``njobs`` independent jobs.
+
+    Defaults to ``min(cpu_count, njobs)``; the ``REPRO_FORK_WORKERS``
+    environment variable overrides (0 forces inline execution).
+    """
+    if njobs <= 0:
+        return 0
+    env_override = os.environ.get("REPRO_FORK_WORKERS")
+    if env_override is not None:
+        return max(0, min(int(env_override), njobs))
+    if nworkers is not None:
+        return max(0, min(int(nworkers), njobs))
+    return min(os.cpu_count() or 1, njobs)
+
+
+def _child_main(write_fd: int, indices: Sequence[int],
+                thunks: Sequence[Callable[[], Any]]) -> None:
+    """Worker body: run assigned thunks, pickle results to the pipe.
+
+    Exits with ``os._exit`` so the parent's atexit hooks and buffered
+    streams are never replayed from the child.
+    """
+    # The child lives only as long as its thunks and exits without
+    # cleanup, so cycle collection buys nothing — but a GC pass would
+    # traverse (and copy-on-write fault) every inherited heap page.
+    gc.disable()
+    results: list[tuple[int, str, Any]] = []
+    for i in indices:
+        try:
+            value = thunks[i]()
+            # Probe picklability here so a bad payload surfaces as a
+            # job error instead of corrupting the whole result stream.
+            pickle.dumps(value)
+            results.append((i, "ok", value))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            tb = traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+                results.append((i, "err", (exc, tb)))
+            except Exception:
+                results.append((i, "err", (None, f"{exc!r}\n{tb}")))
+    with os.fdopen(write_fd, "wb") as fh:
+        pickle.dump(results, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os._exit(0)
+
+
+def fork_map(thunks: Sequence[Callable[[], Any]],
+             nworkers: Optional[int] = None) -> list[Any]:
+    """Run every thunk, fanning out across forked workers; results in
+    input order.
+
+    Thunks run against the copy-on-write fork snapshot, so they may
+    freely mutate "their" objects; only return values (which must
+    pickle) reach the parent.  A thunk that raises anywhere aborts the
+    whole map with :class:`WorkerError` after all workers are reaped.
+    Even a single worker forks (so mutation isolation is uniform across
+    machine sizes); only ``REPRO_FORK_WORKERS=0`` or a platform without
+    ``os.fork`` degrades to inline execution, where the parent *does*
+    see mutations.
+    """
+    thunks = list(thunks)
+    n = worker_count(len(thunks), nworkers)
+    if n < 1 or not fork_available():
+        return [thunk() for thunk in thunks]
+
+    assignments: list[list[int]] = [[] for _ in range(n)]
+    for i in range(len(thunks)):
+        assignments[i % n].append(i)
+
+    workers: list[tuple[int, int]] = []  # (pid, read_fd)
+    for indices in assignments:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            os.close(read_fd)
+            _child_main(write_fd, indices, thunks)
+            raise AssertionError("unreachable")  # pragma: no cover
+        os.close(write_fd)
+        workers.append((pid, read_fd))
+
+    # Sequential reads are deadlock-free: each child writes only its own
+    # pipe, and a child blocked on a full pipe just waits its turn.
+    results: list[Any] = [None] * len(thunks)
+    errors: list[tuple[int, Any, str]] = []
+    for pid, read_fd in workers:
+        with os.fdopen(read_fd, "rb") as fh:
+            payload = fh.read()
+        _pid, status = os.waitpid(pid, 0)
+        if not payload:
+            errors.append((-1, None, f"worker {pid} died without a result "
+                           f"(wait status {status:#x})"))
+            continue
+        for i, kind, value in pickle.loads(payload):
+            if kind == "ok":
+                results[i] = value
+            else:
+                exc, tb = value
+                errors.append((i, exc, tb))
+    if errors:
+        index, exc, tb = errors[0]
+        if isinstance(exc, BaseException):
+            raise WorkerError(
+                f"thunk {index} failed in forked worker: {exc!r}",
+                child_traceback=tb) from exc
+        raise WorkerError(f"forked worker failure: {tb}", child_traceback=tb)
+    return results

@@ -1,0 +1,117 @@
+"""Forked drain: bit-identical outcomes, group partitioning, patch-back."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import build_sharded_cluster
+from repro.sim.parallel import fork_available
+
+SMALL = dict(nblocks=256, npages=64)
+
+
+def sharded(**kw):
+    return build_sharded_cluster(nracks=2, hosts_per_rack=2,
+                                 vms_per_host=2, **SMALL, **kw)
+
+
+def submit_wave(cluster):
+    """A mixed wave: two intra-rack moves plus one cross-rack move."""
+    return [cluster.submit(cluster.domains[0], "host01"),   # rack0 local
+            cluster.submit(cluster.domains[4], "host03"),   # rack1 local
+            cluster.submit(cluster.domains[2], "host02")]   # rack0 -> rack1
+
+
+def outcomes(jobs):
+    return [(job.status, job.started_at, job.ended_at,
+             dataclasses.asdict(job.report)) for job in jobs]
+
+
+class TestWorkerGroups:
+    def test_independent_racks_are_separate_groups(self):
+        cluster = sharded()
+        assert cluster.worker_groups() == [[0], [1]]
+
+    def test_live_cross_migration_couples_racks(self):
+        cluster = sharded()
+        cluster.submit(cluster.domains[0], "host02")  # rack0 -> rack1
+        assert cluster.worker_groups() == [[0, 1]]
+
+    def test_groups_separate_again_after_drain(self):
+        cluster = sharded()
+        job = cluster.submit(cluster.domains[0], "host02")
+        cluster.drain([job])
+        assert job.succeeded
+        assert cluster.worker_groups() == [[0], [1]]
+
+
+class TestForkedDrainEquivalence:
+    @pytest.fixture(autouse=True)
+    def _needs_fork(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+    def test_mixed_wave_identical_to_inline(self):
+        inline = sharded()
+        inline_jobs = submit_wave(inline)
+        inline.drain(inline_jobs)
+
+        forked = sharded(workers="fork")
+        forked_jobs = submit_wave(forked)
+        forked.drain(forked_jobs, nworkers=2)
+
+        assert all(job.succeeded for job in forked_jobs)
+        assert outcomes(forked_jobs) == outcomes(inline_jobs)
+        assert forked.link_ledger() == inline.link_ledger()
+        assert forked.makespan() == inline.makespan()
+        assert forked.events_processed == inline.events_processed
+
+    def test_workers_argument_overrides_backend(self):
+        inline = sharded()
+        inline_jobs = submit_wave(inline)
+        inline.drain(inline_jobs)
+
+        # Cluster built inline, fork requested per-drain.
+        override = sharded()
+        override_jobs = submit_wave(override)
+        override.drain(override_jobs, workers="fork", nworkers=2)
+        assert outcomes(override_jobs) == outcomes(inline_jobs)
+        assert override.link_ledger() == inline.link_ledger()
+
+    def test_engine_quiescent_after_forked_drain(self):
+        cluster = sharded(workers="fork")
+        jobs = submit_wave(cluster)
+        cluster.drain(jobs, nworkers=2)
+        assert cluster.engine.quiescent
+        # A second wave on the patched parent still works inline (using a
+        # domain the first wave never touched: the forked drain is an
+        # accounting view, parent placement is unchanged).
+        more = [cluster.submit(cluster.domains[3], "host00")]
+        cluster.drain(more, workers="inline")
+        assert all(job.succeeded for job in more)
+
+    def test_failed_job_error_is_portable(self):
+        # A crashed destination fails the job inside the forked child; the
+        # exception must survive the pickle trip back to the parent.
+        cluster = sharded(workers="fork")
+        for host in cluster.hosts:
+            if host.name == "host01":
+                host.crashed = True
+        job = cluster.submit(cluster.domains[0], "host01")
+        cluster.drain([job], nworkers=1)
+        assert job.status == "failed"
+        assert job.error is not None
+
+
+class TestInlineFallback:
+    def test_fork_backend_with_workers_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORK_WORKERS", "0")
+        inline = sharded()
+        inline_jobs = submit_wave(inline)
+        inline.drain(inline_jobs)
+
+        fallback = sharded(workers="fork")
+        fallback_jobs = submit_wave(fallback)
+        fallback.drain(fallback_jobs)
+        assert outcomes(fallback_jobs) == outcomes(inline_jobs)
+        assert fallback.link_ledger() == inline.link_ledger()

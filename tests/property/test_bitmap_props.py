@@ -105,6 +105,87 @@ class TestAlgebra:
         assert layered.serialized_nbytes() <= flat_size + top_size
 
 
+class TestWordOps:
+    """The word-view merges (union/difference/intersection) must behave
+    exactly like elementwise boolean algebra, keep the cached count and
+    ``dirty_indices`` coherent, and never disturb the padded backing."""
+
+    @given(operations(), operations(),
+           st.lists(st.sampled_from(["union_update", "difference_update",
+                                     "intersection_update"]), max_size=4))
+    @settings(max_examples=60)
+    def test_merge_sequence_matches_elementwise(self, ops_a, ops_b, merges):
+        a, b = FlatBitmap(NBITS), FlatBitmap(NBITS)
+        apply_ops(a, ops_a)
+        apply_ops(b, ops_b)
+        expected = a.to_bool_array()
+        other = b.to_bool_array()
+        for merge in merges:
+            a.count(), a.dirty_indices()  # prime the caches
+            getattr(a, merge)(b)
+            if merge == "union_update":
+                expected = expected | other
+            elif merge == "difference_update":
+                expected = expected & ~other
+            else:
+                expected = expected & other
+            # The satellite invariant: cached dirty_indices always equals
+            # a fresh scan of the live bits after any vectorized mutation.
+            assert np.array_equal(a.dirty_indices(),
+                                  np.flatnonzero(a._bits))
+            assert np.array_equal(a.to_bool_array(), expected)
+            assert a.count() == int(expected.sum())
+
+    @given(operations())
+    @settings(max_examples=60)
+    def test_dirty_indices_matches_flatnonzero_after_every_op(self, ops):
+        bm = FlatBitmap(NBITS)
+        for op in ops:
+            apply_ops(bm, [op])
+            assert np.array_equal(bm.dirty_indices(),
+                                  np.flatnonzero(bm._bits))
+            assert bm.count() == int(bm._bits.sum())
+
+    @given(operations(), operations())
+    @settings(max_examples=40)
+    def test_flat_merges_match_layered_defaults(self, ops_a, ops_b):
+        fa, fb = FlatBitmap(NBITS), FlatBitmap(NBITS)
+        la, lb = (LayeredBitmap(NBITS, leaf_bits=64),
+                  LayeredBitmap(NBITS, leaf_bits=64))
+        for bm in (fa, la):
+            apply_ops(bm, ops_a)
+        for bm in (fb, lb):
+            apply_ops(bm, ops_b)
+        fa.difference_update(fb)
+        la.difference_update(lb)
+        assert np.array_equal(fa.to_bool_array(), la.to_bool_array())
+        fa.intersection_update(fb)
+        la.intersection_update(lb)
+        assert np.array_equal(fa.to_bool_array(), la.to_bool_array())
+
+    @given(operations(), operations())
+    @settings(max_examples=40)
+    def test_padding_bytes_stay_zero(self, ops_a, ops_b):
+        a, b = FlatBitmap(NBITS), FlatBitmap(NBITS)
+        apply_ops(a, ops_a)
+        apply_ops(b, ops_b)
+        a.union_update(b)
+        a.difference_update(b)
+        a.intersection_update(b)
+        padding = a._words.view(bool)[NBITS:]
+        assert not padding.any()
+
+    @given(st.lists(st.integers(0, NBITS - 1), max_size=30),
+           st.lists(st.integers(0, NBITS - 1), max_size=30))
+    @settings(max_examples=60)
+    def test_union_indices_matches_union1d(self, first, second):
+        from repro.bitmap import union_indices
+        a = np.array(first, dtype=np.int64)
+        b = np.array(second, dtype=np.int64)
+        assert np.array_equal(union_indices(NBITS, a, b),
+                              np.union1d(a, b))
+
+
 class TestGranularityProperties:
     @given(st.lists(
         st.tuples(st.integers(0, 900_000), st.integers(1, 60_000)),

@@ -1,0 +1,142 @@
+"""fork_map / run_forked: the multiprocessing execution backend."""
+
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (Environment, ShardedEngine, WORKER_BACKENDS,
+                       WorkerError, fork_available, fork_map, worker_count)
+
+
+class TestWorkerCount:
+    def test_zero_jobs_means_zero_workers(self):
+        assert worker_count(0) == 0
+
+    def test_capped_by_njobs(self):
+        assert worker_count(2, nworkers=8) == 2
+
+    def test_explicit_nworkers_respected(self):
+        assert worker_count(8, nworkers=3) == 3
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORK_WORKERS", "1")
+        assert worker_count(8, nworkers=4) == 1
+
+    def test_env_override_zero_forces_inline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORK_WORKERS", "0")
+        assert worker_count(8) == 0
+
+
+class TestForkMap:
+    def test_results_in_input_order(self):
+        thunks = [lambda i=i: i * i for i in range(7)]
+        assert fork_map(thunks, nworkers=3) == [i * i for i in range(7)]
+
+    def test_empty_input(self):
+        assert fork_map([]) == []
+
+    def test_child_mutations_do_not_leak(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+        state = {"value": 0}
+
+        def mutate():
+            state["value"] = 99
+            return state["value"]
+
+        assert fork_map([mutate], nworkers=1) == [99]
+        assert state["value"] == 0  # the child owned a COW snapshot
+
+    def test_inline_fallback_mutates_parent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORK_WORKERS", "0")
+        state = {"value": 0}
+
+        def mutate():
+            state["value"] = 99
+            return 1
+
+        assert fork_map([mutate]) == [1]
+        assert state["value"] == 99
+
+    def test_child_exception_becomes_worker_error(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def boom():
+            raise ValueError("inner detail")
+
+        with pytest.raises(WorkerError) as excinfo:
+            fork_map([lambda: 1, boom], nworkers=2)
+        assert "inner detail" in str(excinfo.value)
+        assert "ValueError" in excinfo.value.child_traceback
+
+    def test_unpicklable_result_is_an_error_not_corruption(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+        with pytest.raises(WorkerError):
+            fork_map([lambda: (x for x in range(3))], nworkers=1)
+
+    def test_more_thunks_than_workers(self):
+        thunks = [lambda i=i: i for i in range(10)]
+        assert fork_map(thunks, nworkers=2) == list(range(10))
+
+
+class TestEngineBackend:
+    def test_backend_validation(self):
+        assert WORKER_BACKENDS == ("inline", "fork")
+        with pytest.raises(SimulationError):
+            ShardedEngine(lookahead=0.1, workers="threads")
+        assert ShardedEngine(lookahead=0.1, workers="fork").workers == "fork"
+
+    def test_run_forked_requires_quiescence_without_groups(self):
+        engine = ShardedEngine(lookahead=0.1)
+        engine.add_shard("rack0")
+        engine.add_source()
+        with pytest.raises(SimulationError):
+            engine.run_forked(until=1.0)
+
+    def test_run_forked_unknown_group_member_raises(self):
+        engine = ShardedEngine(lookahead=0.1)
+        engine.add_shard("rack0")
+        with pytest.raises(SimulationError):
+            engine.run_forked(until=1.0, groups=[["rack9"]])
+
+    def test_run_forked_matches_inline_per_shard(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def build():
+            engine = ShardedEngine(lookahead=0.1)
+            for i in range(3):
+                shard = engine.add_shard(f"rack{i}")
+
+                def ticker(env, step=0.01 * (i + 1)):
+                    while True:
+                        yield env.timeout(step)
+
+                shard.env.process(ticker(shard.env), name="tick")
+            return engine
+
+        inline = build()
+        inline.run(until=1.0)
+        expected = {shard.name: dict(events=shard.env.events_processed,
+                                     now=shard.env.now,
+                                     inbox=len(shard.inbox))
+                    for shard in inline._shards}
+
+        forked = build()
+        got = forked.run_forked(until=1.0, nworkers=2)
+        assert got == expected
+        # The parent's shards were never advanced — it is a map, not a run.
+        assert all(shard.env.now == 0.0 for shard in forked._shards)
+
+    def test_run_forked_inline_fallback_restores_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORK_WORKERS", "0")
+        engine = ShardedEngine(lookahead=0.1)
+        for i in range(2):
+            engine.add_shard(f"rack{i}")
+        engine.run_forked(until=0.5)
+        # The narrowing in each thunk must not leak: both shards visible.
+        assert len(engine._shards) == 2
+        assert sorted(engine._by_name) == ["rack0", "rack1"]
