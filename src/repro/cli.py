@@ -277,6 +277,40 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0 if not bad else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded chaos schedules and check the recovery invariants.
+
+    Each seed drives a randomized-but-reproducible fault schedule
+    (partitions, link flaps, host crashes) against a cluster running a
+    migration wave with retry + health tracking on, then asserts byte
+    conservation, placement integrity, bitmap coverage, and
+    surrogate-leak freedom.  Exit code 1 (with the seed printed) on any
+    violation, so CI failures replay exactly.
+    """
+    from .cluster.chaos import ChaosConfig, run_chaos
+    from .cluster.scheduler import RetryPolicy
+
+    seeds = args.seed if args.seed else [0, 1]
+    modes = (("monolithic", "sharded") if args.mode == "both"
+             else (args.mode,))
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        initial_backoff=0.2, max_backoff=2.0)
+    bad = 0
+    for mode in modes:
+        for seed in seeds:
+            report = run_chaos(ChaosConfig(
+                seed=seed, mode=mode, nracks=args.racks,
+                hosts_per_rack=args.hosts_per_rack,
+                vms_per_host=args.vms_per_host, njobs=args.jobs,
+                nblocks=args.nblocks, npages=args.npages, retry=retry))
+            print(report.summary())
+            bad += not report.ok
+    if bad:
+        print(f"\n{bad} run(s) violated invariants -- replay with "
+              f"`repro-sim chaos --seed <seed> --mode <mode>`")
+    return 1 if bad else 0
+
+
 def cmd_backup(args: argparse.Namespace) -> int:
     """Run a bitmap-driven backup chain against a live workload.
 
@@ -521,6 +555,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "this process or in forked workers "
                               "(default: inline)")
     p_scale.set_defaults(func=cmd_scale)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded chaos runs checking the cluster recovery "
+                      "invariants")
+    p_chaos.add_argument("--seed", type=int, action="append", default=None,
+                         metavar="N",
+                         help="seed to run (repeatable; default: 0 1)")
+    p_chaos.add_argument("--mode", choices=("monolithic", "sharded", "both"),
+                         default="both",
+                         help="cluster engine(s) to test (default: both)")
+    p_chaos.add_argument("--racks", type=int, default=2,
+                         help="racks in the test cluster (default: 2)")
+    p_chaos.add_argument("--hosts-per-rack", type=int, default=3,
+                         help="hosts per rack (default: 3)")
+    p_chaos.add_argument("--vms-per-host", type=int, default=2,
+                         help="VMs per host (default: 2)")
+    p_chaos.add_argument("--jobs", type=int, default=6,
+                         help="migrations submitted per run (default: 6)")
+    p_chaos.add_argument("--nblocks", type=int, default=2048,
+                         help="VBD blocks per VM (default: 2048)")
+    p_chaos.add_argument("--npages", type=int, default=64,
+                         help="memory pages per VM (default: 64)")
+    p_chaos.add_argument("--max-attempts", type=int, default=3,
+                         help="retry budget per job (default: 3)")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_backup = sub.add_parser(
         "backup", help="run a bitmap-driven incremental backup chain")

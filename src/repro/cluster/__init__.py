@@ -6,7 +6,11 @@ Builds the layer above the point-to-point
 migrations concurrently over a shared
 :class:`~repro.net.topology.Topology` with admission control and
 per-link in-flight limits, placement policies for evacuation and
-rebalancing, and a per-link byte-conservation audit.
+rebalancing, a per-link byte-conservation audit, and a failure-recovery
+stack — per-host circuit breakers (:mod:`~repro.cluster.health`),
+retry with re-placement and dead-lettering
+(:class:`~repro.cluster.scheduler.RetryPolicy`), and a seeded chaos
+harness (:mod:`~repro.cluster.chaos`).
 
 Typical use::
 
@@ -18,28 +22,38 @@ Typical use::
     print(bed.scheduler.makespan(jobs))
 """
 
-from ..errors import NoValidHost
+from ..errors import AdmissionRejected, NoValidHost
 from .accounting import LinkAudit, assert_conserved, audit_link_bytes
+from .chaos import ChaosConfig, ChaosReport, check_invariants, run_chaos
 from .churn import ChurnConfig, ChurnGenerator
+from .health import CircuitBreaker, HealthMonitor
 from .hostmanager import (HostManager, HostState, PlacementSpec,
                           register_filter, register_weigher)
 from .placement import RoundRobin, least_loaded, pack_smallest_name
-from .scheduler import ClusterScheduler, MigrationJob
+from .scheduler import (ClusterScheduler, JobFailure, MigrationJob,
+                        RetryPolicy)
 from .sharded import ShardedCluster, build_sharded_cluster
 from .slo import SLOReport, TenantSLO, makespan_percentiles, slo_report
 from .testbed import ClusterBed, build_cluster
 
 __all__ = [
+    "AdmissionRejected",
+    "ChaosConfig",
+    "ChaosReport",
     "ChurnConfig",
     "ChurnGenerator",
+    "CircuitBreaker",
     "ClusterBed",
     "ClusterScheduler",
+    "HealthMonitor",
     "HostManager",
     "HostState",
+    "JobFailure",
     "LinkAudit",
     "MigrationJob",
     "NoValidHost",
     "PlacementSpec",
+    "RetryPolicy",
     "RoundRobin",
     "SLOReport",
     "ShardedCluster",
@@ -48,10 +62,12 @@ __all__ = [
     "audit_link_bytes",
     "build_cluster",
     "build_sharded_cluster",
+    "check_invariants",
     "least_loaded",
     "makespan_percentiles",
     "pack_smallest_name",
     "register_filter",
     "register_weigher",
+    "run_chaos",
     "slo_report",
 ]

@@ -65,10 +65,15 @@ def audit_link_bytes(migrations: Iterable["MigrationScheme"]
     links: dict[int, Link] = {}
     for migration in migrations:
         for channel in migration.channels:
+            # A send that dies on a later hop of a routed path (blackout
+            # timeout) never reaches the channel ledger, yet its bytes
+            # really crossed the upstream wires; the path records them.
+            aborted = getattr(channel.link, "aborted_by_hop", None) or {}
             for hop in _hops(channel.link):
                 key = id(hop)
                 links[key] = hop
-                expected[key] = expected.get(key, 0) + channel.total_bytes
+                expected[key] = (expected.get(key, 0) + channel.total_bytes
+                                 + aborted.get(key, 0))
     audits = [LinkAudit(link=links[key], expected=expected[key],
                         actual=links[key].bytes_sent)
               for key in links]

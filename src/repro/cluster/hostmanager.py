@@ -19,7 +19,8 @@ Both built-in registries cover the ISSUE set:
 * filters — ``up`` (not crashed, not in maintenance), ``capacity``
   (planned load below the per-host domain capacity), ``affinity``
   (required rack and anti-affinity host exclusions), ``link-headroom``
-  (uplink not saturated with in-flight migrations);
+  (uplink not saturated with in-flight migrations), ``healthy``
+  (circuit breaker not open — see :mod:`repro.cluster.health`);
 * weighers — ``least-loaded`` (fewest planned domains), ``locality``
   (same rack as the source: intra-rack moves stay off the core fabric),
   ``spread`` (fewest in-flight inbound migrations).
@@ -179,6 +180,18 @@ def link_headroom_filter(state: HostState, spec: PlacementSpec) -> bool:
     return True
 
 
+@register_filter("healthy")
+def healthy_filter(state: HostState, spec: PlacementSpec) -> bool:
+    """Registry anchor for the circuit-breaker health filter.
+
+    The breakers live on the manager's
+    :class:`~repro.cluster.health.HealthMonitor` (``HostManager.health``),
+    so :meth:`HostManager._passes` special-cases this name; without a
+    monitor the filter keeps everything (default-off, equivalence-safe).
+    """
+    return True
+
+
 # -- built-in weighers -------------------------------------------------------
 
 @register_weigher("least-loaded")
@@ -226,6 +239,7 @@ class HostManager:
         capacity: Optional[int] = None,
         inbound: Optional[dict] = None,
         link_headroom: Optional[int] = None,
+        health: Optional["object"] = None,
     ) -> None:
         self.topology = topology
         self.filter_names = tuple(filters)
@@ -248,6 +262,9 @@ class HostManager:
         #: migrations (None disables the ``link-headroom`` filter's
         #: effect even when listed).
         self.link_headroom = link_headroom
+        #: :class:`~repro.cluster.health.HealthMonitor` backing the
+        #: ``healthy`` filter (None disables it even when listed).
+        self.health = health
         self._inbound = inbound if inbound is not None else {}
         #: host name -> in-flight migrations using its uplink, maintained
         #: by the scheduler via :meth:`note_link`.
@@ -305,6 +322,12 @@ class HostManager:
             if self.link_headroom is None:
                 return True
             return state.link_inflight < self.link_headroom
+        if name == "healthy":
+            # Same stub pattern: the breakers live on the manager's
+            # HealthMonitor.
+            if self.health is None:
+                return True
+            return self.health.healthy(state.name)
         return FILTERS[name](state, spec)
 
     def filter_hosts(self, spec: PlacementSpec,

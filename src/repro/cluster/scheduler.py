@@ -32,9 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..core.manager import Migrator
+from ..core.manager import MigrationRetrier, Migrator
 from ..core.metrics import MigrationReport
-from ..errors import MigrationError, NoValidHost
+from ..errors import AdmissionRejected, MigrationError, NoValidHost
 from ..sim import Resource
 from .hostmanager import HostManager, PlacementSpec
 from .placement import PlacementPolicy
@@ -44,6 +44,54 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import Environment, Process
     from ..vm.domain import Domain
     from ..vm.host import Host
+    from .health import HealthMonitor
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed migration attempt, structured for operators.
+
+    ``error_type`` is the underlying exception class (``NetworkError``
+    for a blackout kill, not the wrapping ``MigrationFailed``);
+    ``phase`` is the migration phase the attempt died in (from the
+    report's ``failed_phase``, or a scheduler stage like ``placement``).
+    """
+
+    error_type: str
+    message: str
+    phase: str
+    attempt: int
+    at: float
+    destination: str
+
+    def __str__(self) -> str:
+        return (f"attempt {self.attempt} -> {self.destination}: "
+                f"{self.error_type}@{self.phase}: {self.message}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Job-level recovery knobs for :class:`ClusterScheduler`.
+
+    ``max_attempts`` > 1 retries failed migrations through
+    :class:`~repro.core.manager.MigrationRetrier` — incrementally by
+    default, reusing the source's surviving tracking bitmap and the
+    destination's partial copy.  With ``replace=True`` a retry whose
+    destination died or tripped its circuit breaker is re-placed through
+    the HostManager pipeline first (the partial-copy table is keyed per
+    destination, so the new target starts clean automatically).
+    ``default_deadline`` is a per-job wall-clock budget in simulated
+    seconds from submission; once passed, no further attempt starts.
+    """
+
+    max_attempts: int = 3
+    initial_backoff: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff: float = 60.0
+    incremental: bool = True
+    wait_for_restart: bool = False
+    replace: bool = True
+    default_deadline: Optional[float] = None
 
 
 @dataclass
@@ -68,6 +116,15 @@ class MigrationJob:
     #: while the job queues, admission re-places it.  Explicitly
     #: submitted jobs keep their requested destination and fail instead.
     replaceable: bool = False
+    #: Absolute simulated time after which no retry attempt starts
+    #: (None = unbounded).
+    deadline: Optional[float] = None
+    #: Attempt budget for this job (1 = no retries).
+    max_attempts: int = 1
+    #: Attempts actually made (0 until the job starts).
+    attempts: int = 0
+    #: Structured record of every failed attempt, in order.
+    failures: list[JobFailure] = field(default_factory=list)
 
     @property
     def queue_time(self) -> float:
@@ -80,6 +137,11 @@ class MigrationJob:
     def succeeded(self) -> bool:
         return self.status == "done"
 
+    @property
+    def failure(self) -> Optional[JobFailure]:
+        """The most recent failure record, or None."""
+        return self.failures[-1] if self.failures else None
+
 
 class ClusterScheduler:
     """Runs many migrations concurrently over a shared topology."""
@@ -88,23 +150,43 @@ class ClusterScheduler:
                  max_concurrent: int = 4,
                  per_link_limit: Optional[int] = None,
                  config: Optional["MigrationConfig"] = None,
-                 hostmanager: Optional[HostManager] = None) -> None:
+                 hostmanager: Optional[HostManager] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 health: Optional["HealthMonitor"] = None,
+                 shed_threshold: Optional[float] = None) -> None:
         if max_concurrent < 1:
             raise MigrationError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
         if per_link_limit is not None and per_link_limit < 1:
             raise MigrationError(
                 f"per_link_limit must be >= 1, got {per_link_limit}")
+        if shed_threshold is not None and not 0.0 < shed_threshold <= 1.0:
+            raise MigrationError(
+                f"shed_threshold must be in (0, 1], got {shed_threshold}")
         self.env = env
         self.migrator = migrator
         self.config = config
         self.max_concurrent = max_concurrent
         self.per_link_limit = per_link_limit
+        #: Job-level recovery policy (None = fail fast, the pre-recovery
+        #: behaviour the equivalence gate pins down).
+        self.retry = retry
+        #: Per-host circuit breakers (None = no health tracking).
+        self.health = health
+        #: Reject new submissions while this fraction of hosts has an
+        #: open breaker (None = never shed).
+        self.shed_threshold = shed_threshold
         self._admission = Resource(env, capacity=max_concurrent)
         #: duplex-link name -> in-flight slot resource (lazy).
         self._link_slots: dict[str, Resource] = {}
         #: Every job ever submitted, in submission order.
         self.jobs: list[MigrationJob] = []
+        #: Jobs that exhausted their recovery budget (or failed with
+        #: recovery off) — the operator's to-triage list.
+        self.dead_letter: list[MigrationJob] = []
+        #: Submissions rejected by overload shedding (count only; no
+        #: job object is created for shed work).
+        self.shed_count = 0
         #: host name -> migrations currently scheduled *toward* that host
         #: but not yet completed (placement looks at planned load).
         self._inbound: dict[str, int] = {}
@@ -117,6 +199,13 @@ class ClusterScheduler:
         # manager is rewired onto the live map so its planned-load view
         # tracks submissions.
         self.hostmanager._inbound = self._inbound
+        if health is not None:
+            # Placement consults the breakers: wire the monitor onto the
+            # manager and make sure the ``healthy`` filter runs.
+            self.hostmanager.health = health
+            if "healthy" not in self.hostmanager.filter_names:
+                self.hostmanager.filter_names = (
+                    *self.hostmanager.filter_names, "healthy")
 
     # -- introspection -----------------------------------------------------
 
@@ -140,11 +229,31 @@ class ClusterScheduler:
 
     # -- submission --------------------------------------------------------
 
+    def _shed_check(self) -> None:
+        """Raise :class:`AdmissionRejected` while the fleet is melting."""
+        if self.shed_threshold is None or self.health is None:
+            return
+        hosts = [host for host in self.migrator.topology.hosts.values()
+                 if not getattr(host, "is_surrogate", False)]
+        self.health.poll(hosts)
+        fraction = self.health.open_fraction(host.name for host in hosts)
+        if fraction >= self.shed_threshold:
+            self.shed_count += 1
+            self.env.metrics.counter("cluster.jobs.shed").inc()
+            self.env.tracer.instant("cluster:shed", category="cluster",
+                                    open_fraction=fraction)
+            raise AdmissionRejected(
+                f"admission shed: {fraction:.0%} of hosts have an open "
+                f"circuit breaker (threshold {self.shed_threshold:.0%})",
+                open_fraction=fraction)
+
     def submit(self, domain: "Domain", destination: "Host",
                scheme: str = "tpm", workload_name: str = "unknown",
                config: Optional["MigrationConfig"] = None,
                scheme_kwargs: Optional[dict] = None,
-               replaceable: bool = False) -> MigrationJob:
+               replaceable: bool = False,
+               deadline: Optional[float] = None,
+               max_attempts: Optional[int] = None) -> MigrationJob:
         """Queue one migration; returns its :class:`MigrationJob`.
 
         The job runs as a simulation process — drive the environment
@@ -152,12 +261,27 @@ class ClusterScheduler:
         ``replaceable=True`` (what :meth:`evacuate` / :meth:`rebalance`
         pass) the destination is treated as a scheduler choice and may be
         re-placed at admission time if it stops being a valid target.
+
+        ``deadline`` is an *absolute* simulated time bound on retries;
+        ``max_attempts`` overrides the scheduler :class:`RetryPolicy`'s
+        budget for this job.  Both default from the policy (no policy:
+        one attempt, no deadline).  Raises
+        :class:`~repro.errors.AdmissionRejected` when overload shedding
+        is active and too many breakers are open.
         """
+        self._shed_check()
+        if max_attempts is None:
+            max_attempts = (self.retry.max_attempts
+                            if self.retry is not None else 1)
+        if deadline is None and self.retry is not None \
+                and self.retry.default_deadline is not None:
+            deadline = self.env.now + self.retry.default_deadline
         job = MigrationJob(domain=domain, destination=destination,
                            scheme=scheme, workload_name=workload_name,
                            submitted_at=self.env.now,
                            scheme_kwargs=dict(scheme_kwargs or {}),
-                           replaceable=replaceable)
+                           replaceable=replaceable,
+                           deadline=deadline, max_attempts=max_attempts)
         self.jobs.append(job)
         self._inbound[destination.name] = (
             self._inbound.get(destination.name, 0) + 1)
@@ -184,6 +308,79 @@ class ClusterScheduler:
             slots.append(slot)
         return slots
 
+    def _record_failure(self, job: MigrationJob, exc: Exception,
+                        destination: "Host", attempt: int,
+                        phase: Optional[str] = None) -> JobFailure:
+        """Append a structured :class:`JobFailure` and feed the health
+        monitor (the destination is charged unless the *source* is the
+        crashed party)."""
+        if phase is None:
+            report = getattr(exc, "report", None)
+            phase = (report.extra.get("failed_phase", "unknown")
+                     if report is not None else "unknown")
+        cause = exc.__cause__ if exc.__cause__ is not None else exc
+        failure = JobFailure(
+            error_type=type(cause).__name__, message=str(exc),
+            phase=phase, attempt=attempt, at=self.env.now,
+            destination=destination.name)
+        job.failures.append(failure)
+        self.env.metrics.counter("cluster.jobs.attempt_failures").inc()
+        if self.health is not None:
+            source = job.domain.host
+            if source is None or not source.crashed:
+                self.health.record_failure(destination.name)
+        return failure
+
+    def _dead_letter(self, job: MigrationJob) -> None:
+        self.dead_letter.append(job)
+        self.env.metrics.counter("cluster.jobs.dead_letter").inc()
+        self.env.tracer.instant(
+            "cluster:dead-letter", category="cluster",
+            domain=job.domain.name, attempts=job.attempts,
+            failure=str(job.failure) if job.failure else None)
+
+    def _retry_replacement(self, job: MigrationJob, domain: "Domain",
+                           destination: "Host", attempt: int,
+                           failure: Exception) -> Optional["Host"]:
+        """MigrationRetrier hook: re-place a retry whose destination died
+        or tripped its breaker; None keeps the current target."""
+        if self.retry is None or not self.retry.replace:
+            return None
+        if not job.replaceable or getattr(destination, "is_surrogate",
+                                          False):
+            # Explicit submissions (and cross-rack surrogates, whose
+            # transplant is keyed to the original target) keep their
+            # destination across retries.
+            return None
+        if self.health is not None:
+            self.health.poll(self.migrator.topology.hosts.values())
+        suspect = (not destination.available
+                   or (self.health is not None
+                       and not self.health.healthy(destination.name)))
+        if not suspect:
+            return None
+        try:
+            replacement = self.hostmanager.select(
+                PlacementSpec(domain=domain),
+                exclude=(destination.name,))
+        except NoValidHost:
+            # Nowhere better to go; keep retrying the original (it may
+            # restart) rather than giving up early.
+            return None
+        if replacement is destination:
+            return None
+        self.env.tracer.instant("cluster:replace", category="cluster",
+                                domain=domain.name, old=destination.name,
+                                new=replacement.name, attempt=attempt)
+        self.env.metrics.counter("cluster.jobs.replaced").inc()
+        self._inbound[destination.name] -= 1
+        self._inbound[replacement.name] = (
+            self._inbound.get(replacement.name, 0) + 1)
+        self.hostmanager.note_link(destination, -1)
+        self.hostmanager.note_link(replacement, +1)
+        job.destination = replacement
+        return replacement
+
     def _run(self, job: MigrationJob,
              config: Optional["MigrationConfig"]) -> Generator:
         env = self.env
@@ -195,22 +392,37 @@ class ClusterScheduler:
                 job.status = "failed"
                 job.error = MigrationError(
                     f"{job.domain} is not running on any host")
+                job.attempts = 1
+                job.failures.append(JobFailure(
+                    error_type="MigrationError", message=str(job.error),
+                    phase="admission", attempt=1, at=env.now,
+                    destination=job.destination.name))
                 job.ended_at = env.now
                 self._inbound[job.destination.name] -= 1
+                self._dead_letter(job)
                 return
-            if job.replaceable and not job.destination.available:
-                # The chosen destination crashed or entered maintenance
-                # while this job queued (mid-churn).  Re-run placement —
-                # explicit submissions keep their target and fail inside
-                # the migrator instead.
+            if job.replaceable and (
+                    not job.destination.available
+                    or (self.health is not None
+                        and not self.health.healthy(job.destination.name))):
+                # The chosen destination crashed, entered maintenance or
+                # tripped its breaker while this job queued (mid-churn).
+                # Re-run placement — explicit submissions keep their
+                # target and fail inside the migrator instead.
                 try:
                     replacement = self.hostmanager.select(
                         PlacementSpec(domain=job.domain))
                 except NoValidHost as exc:
                     job.status = "failed"
                     job.error = exc
+                    job.attempts = 1
+                    job.failures.append(JobFailure(
+                        error_type="NoValidHost", message=str(exc),
+                        phase="placement", attempt=1, at=env.now,
+                        destination=job.destination.name))
                     job.ended_at = env.now
                     self._inbound[job.destination.name] -= 1
+                    self._dead_letter(job)
                     return
                 tracer.instant("cluster:replace", category="cluster",
                                domain=job.domain.name,
@@ -237,20 +449,38 @@ class ClusterScheduler:
                                     src=source.name,
                                     dst=job.destination.name,
                                     queue_time=job.queue_time)
+                cfg = config if config is not None else self.config
                 try:
-                    job.report = yield from self.migrator.migrate(
-                        job.domain, job.destination,
-                        config if config is not None else self.config,
-                        workload_name=job.workload_name,
-                        scheme=job.scheme,
-                        scheme_kwargs=job.scheme_kwargs or None)
+                    if job.max_attempts <= 1:
+                        job.attempts = 1
+                        job.report = yield from self.migrator.migrate(
+                            job.domain, job.destination, cfg,
+                            workload_name=job.workload_name,
+                            scheme=job.scheme,
+                            scheme_kwargs=job.scheme_kwargs or None)
+                    else:
+                        job.report = yield from self._run_with_retry(
+                            job, cfg)
                     job.status = "done"
-                    tracer.end(span, status="done")
+                    if job.report is not None and job.report.attempts:
+                        job.attempts = job.report.attempts
+                    if self.health is not None:
+                        self.health.record_success(job.destination.name)
+                    tracer.end(span, status="done", attempts=job.attempts)
                 except MigrationError as exc:
                     job.status = "failed"
                     job.error = exc
                     job.report = getattr(exc, "report", None)
-                    tracer.end(span, status="failed", failure=str(exc))
+                    if job.max_attempts <= 1:
+                        self._record_failure(job, exc, job.destination,
+                                             attempt=1)
+                    last = job.failure
+                    tracer.end(
+                        span, status="failed", failure=str(exc),
+                        failure_type=last.error_type if last else None,
+                        failure_phase=last.phase if last else None,
+                        attempts=job.attempts)
+                    self._dead_letter(job)
             finally:
                 job.ended_at = env.now
                 self._inbound[job.destination.name] -= 1
@@ -261,6 +491,36 @@ class ClusterScheduler:
                     request.release()
         self.env.metrics.counter(
             f"cluster.jobs.{job.status}").inc()
+
+    def _run_with_retry(self, job: MigrationJob,
+                        cfg: Optional["MigrationConfig"]) -> Generator:
+        """Drive one job through :class:`MigrationRetrier` with the
+        scheduler's policy, recording every attempt's failure."""
+        policy = self.retry if self.retry is not None else RetryPolicy()
+
+        def note(attempt: int, destination: "Host", failure) -> None:
+            job.attempts = attempt
+            self._record_failure(job, failure, destination, attempt)
+
+        def replace(domain, destination, attempt, failure):
+            return self._retry_replacement(job, domain, destination,
+                                           attempt, failure)
+
+        retrier = MigrationRetrier(
+            self.migrator, max_attempts=job.max_attempts,
+            initial_backoff=policy.initial_backoff,
+            backoff_factor=policy.backoff_factor,
+            incremental=policy.incremental,
+            max_backoff=policy.max_backoff,
+            wait_for_restart=policy.wait_for_restart)
+        report = yield from retrier.migrate(
+            job.domain, job.destination, cfg,
+            workload_name=job.workload_name, scheme=job.scheme,
+            scheme_kwargs=job.scheme_kwargs or None,
+            deadline=job.deadline,
+            replace_destination=replace,
+            on_attempt_failure=note)
+        return report
 
     # -- bulk operations ---------------------------------------------------
 

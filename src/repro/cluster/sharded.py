@@ -124,6 +124,49 @@ class ShardedCluster:
         #: id(job) of cross-rack jobs whose engine source is still held
         #: (submitted but not yet transplanted or failed).
         self._live_cross: set[int] = set()
+        #: One :class:`~repro.faults.FaultInjector` per shard after
+        #: :meth:`inject_faults`, index-aligned with ``shards``.
+        self.fault_injectors: list = []
+
+    # -- faults ------------------------------------------------------------
+
+    def inject_faults(self, plan) -> list:
+        """Split one cluster-wide :class:`~repro.faults.FaultPlan` across
+        the shards and inject it.
+
+        Each shard receives the plan narrowed to its own hosts (crashes
+        on other racks' hosts are dropped; link-scoped specs — blackouts,
+        degradations, partitions, flaps — are kept verbatim and match
+        whatever links the shard topology actually has, including
+        surrogate replica fabric created later).  Shards with a
+        :class:`~repro.cluster.health.HealthMonitor` get it subscribed
+        to their injector's crash/restart feed.
+        """
+        from ..faults import FaultInjector
+
+        if self.fault_injectors:
+            raise ReproError("faults already injected into this cluster")
+        for shard in self.shards:
+            shard_plan = plan.narrowed_to(
+                host.name for host in shard.hosts)
+            injector = FaultInjector(shard.env, shard_plan)
+            injector.inject(shard.migrator)
+            if shard.scheduler.health is not None:
+                shard.scheduler.health.attach(injector)
+            self.fault_injectors.append(injector)
+        return self.fault_injectors
+
+    def surrogate_residents(self) -> list[Domain]:
+        """Domains currently attached to a surrogate host (in flight to
+        another rack, or leaked there by a failure).  After
+        :meth:`drain` this must be empty — the chaos harness's
+        no-surrogate-leak invariant."""
+        out: list[Domain] = []
+        for shard in self.shards:
+            for surrogate in shard.surrogates.values():
+                out.extend(surrogate.domains)
+        out.sort(key=lambda d: d.domain_id)
+        return out
 
     # -- lookups -----------------------------------------------------------
 
@@ -216,6 +259,13 @@ class ShardedCluster:
                      self.link_latency)
         topo.tag(surrogate, "host")
         src_shard.surrogates[destination_name] = surrogate
+        injector = src_shard.migrator.fault_injector
+        if injector is not None:
+            # The replica fabric must fault like the real thing: offer
+            # every topology link to the shard's injector (re-attach of
+            # known duplexes is a no-op, so this only wires the new ones).
+            for key, duplex in topo.links.items():
+                injector.attach(duplex, hosts=key)
         return surrogate
 
     def _submit_cross(self, domain: Domain, src_shard: ClusterShard,
@@ -224,6 +274,7 @@ class ShardedCluster:
                       on_arrival: Optional[Callable[[Environment, Domain],
                                                     None]]) -> MigrationJob:
         surrogate = self._surrogate(src_shard, dst_shard, destination_name)
+        source_host = domain.host
         # The job is a cross-shard message source from submission until
         # its transplant (or failure) — the engine narrows to
         # lookahead-bounded windows for exactly that span.
@@ -234,14 +285,15 @@ class ShardedCluster:
         self._live_cross.add(id(job))
         src_shard.env.process(
             self._cross_watch(job, src_shard, dst_shard, destination_name,
-                              on_arrival),
+                              on_arrival, source_host),
             name=f"xrack:{domain.name}->{destination_name}")
         return job
 
     def _cross_watch(self, job: MigrationJob, src_shard: ClusterShard,
                      dst_shard: ClusterShard, destination_name: str,
                      on_arrival: Optional[Callable[[Environment, Domain],
-                                                   None]]):
+                                                   None]],
+                     source_host: Optional[Host] = None):
         """Source-shard process: on commit, ship domain+VBD to the real
         destination via the engine's message queue."""
         yield job.process
@@ -249,6 +301,24 @@ class ShardedCluster:
         if not job.succeeded:
             # Nothing arrived on the far side; the failure is fully
             # contained in the source shard (job.error has the story).
+            # A post-handover failure (partition mid-postcopy) leaves
+            # the domain on the surrogate — the stand-in's state never
+            # left this shard, so roll the transplant back: re-home the
+            # VM on its source host with the most complete disk copy
+            # the shard holds.
+            surrogate = job.destination
+            domain_id = job.domain.domain_id
+            if (getattr(surrogate, "is_surrogate", False)
+                    and any(d.domain_id == domain_id
+                            for d in surrogate.domains)
+                    and source_host is not None):
+                rolled, vbd = surrogate.detach_domain(domain_id)
+                source_host.attach_domain(rolled, vbd)
+                env.metrics.counter("cluster.cross_rack.rollbacks").inc()
+                env.tracer.instant(
+                    "xrack:rollback", category="cluster",
+                    domain=rolled.name, surrogate=destination_name,
+                    back_to=source_host.name)
             self._live_cross.discard(id(job))
             self.engine.remove_source()
             return
@@ -577,6 +647,9 @@ def build_sharded_cluster(
     observe: bool = False,
     seed: int = 0,
     workers: str = "inline",
+    retry=None,
+    health: bool = False,
+    shed_threshold: Optional[float] = None,
 ) -> ShardedCluster:
     """Assemble a rack-sharded datacenter: one simulation shard per rack.
 
@@ -632,10 +705,17 @@ def build_sharded_cluster(
                 domain = Domain(env, GuestMemory(npages, clock=clock),
                                 name=f"vm-{host.name}-{v}")
                 host.attach_domain(domain, vbd)
+        monitor = None
+        if health:
+            from .health import HealthMonitor
+
+            monitor = HealthMonitor(env)
         scheduler = ClusterScheduler(env, migrator,
                                      max_concurrent=max_concurrent,
                                      per_link_limit=per_link_limit,
-                                     config=cfg)
+                                     config=cfg, retry=retry,
+                                     health=monitor,
+                                     shed_threshold=shed_threshold)
         shards.append(ClusterShard(
             name=rack, index=r, env=env, hosts=hosts, migrator=migrator,
             scheduler=scheduler, clock=clock,

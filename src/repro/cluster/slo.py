@@ -100,6 +100,14 @@ class SLOReport:
     #: ``{"p50": ..., "p95": ..., "p99": ...}`` of per-job times.
     percentiles: dict[str, float] = field(default_factory=dict)
     tenants: dict[str, TenantSLO] = field(default_factory=dict)
+    #: Failure breakdown across *terminal* failures: ``(error_type,
+    #: phase) -> count``, built from each failed job's last
+    #: :class:`~repro.cluster.scheduler.JobFailure`.
+    failure_kinds: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Total attempts across all jobs (retries show up as > total).
+    attempts: int = 0
+    #: Jobs that exhausted recovery and landed in the dead-letter list.
+    dead_lettered: int = 0
 
     @property
     def violations(self) -> list[TenantSLO]:
@@ -117,6 +125,14 @@ class SLOReport:
             "per-job   : " + "  ".join(
                 f"{k}={v:.3f}s" for k, v in sorted(self.percentiles.items())),
         ]
+        if self.attempts > self.total:
+            lines.append(f"attempts  : {self.attempts} "
+                         f"({self.attempts - self.total} retried)")
+        if self.failure_kinds:
+            kinds = "  ".join(
+                f"{etype}@{phase}={count}"
+                for (etype, phase), count in sorted(self.failure_kinds.items()))
+            lines.append(f"failures  : {kinds}")
         if self.violations:
             lines.append("VIOLATIONS:")
             for t in sorted(self.violations, key=lambda t: t.tenant):
@@ -155,12 +171,19 @@ def slo_report(jobs: Sequence["MigrationJob"],
                 budget=budgets.get(tenant_name, default_budget))
             report.tenants[tenant_name] = tenant
         tenant.migrations += 1
+        report.attempts += max(job.attempts, 1)
         if job.succeeded and job.report is not None:
             report.succeeded += 1
             tenant.downtime += job.report.downtime
         elif job.status == "failed":
             report.failed += 1
             tenant.failed += 1
+            last = job.failure
+            if last is not None:
+                key = (last.error_type, last.phase)
+                report.failure_kinds[key] = (
+                    report.failure_kinds.get(key, 0) + 1)
+                report.dead_lettered += 1
     if finished:
         report.makespan = (max(job.ended_at for job in finished)
                            - min(job.submitted_at for job in finished))

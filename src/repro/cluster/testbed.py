@@ -30,6 +30,7 @@ from .scheduler import ClusterScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import Environment
+    from .scheduler import RetryPolicy
 
 
 @dataclass
@@ -72,6 +73,9 @@ def build_cluster(
     observe: bool = False,
     env: Optional["Environment"] = None,
     persist: bool = False,
+    retry: Optional["RetryPolicy"] = None,
+    health: bool = False,
+    shed_threshold: Optional[float] = None,
 ) -> ClusterBed:
     """Assemble an ``nhosts``-machine cluster with ``vms_per_host`` idle
     VMs per host and a :class:`~repro.cluster.scheduler.ClusterScheduler`
@@ -82,6 +86,13 @@ def build_cluster(
     benchmarks measure orchestration behaviour (makespan, contention,
     conservation), not workload interference, which the two-machine
     experiments already cover.
+
+    The recovery stack is opt-in: pass a ``retry``
+    :class:`~repro.cluster.scheduler.RetryPolicy`, ``health=True`` for a
+    :class:`~repro.cluster.health.HealthMonitor` (wired into placement
+    via the ``healthy`` filter), and/or ``shed_threshold`` for
+    admission-time load shedding.  All three default off so the
+    equivalence fixtures never see them.
     """
     if nhosts < 2:
         raise ReproError(f"a cluster needs >= 2 hosts, got {nhosts}")
@@ -146,9 +157,15 @@ def build_cluster(
             host.attach_domain(domain, vbd)
             domains.append(domain)
 
+    monitor = None
+    if health:
+        from .health import HealthMonitor
+
+        monitor = HealthMonitor(env)
     scheduler = ClusterScheduler(env, migrator,
                                  max_concurrent=max_concurrent,
                                  per_link_limit=per_link_limit,
-                                 config=cfg)
+                                 config=cfg, retry=retry, health=monitor,
+                                 shed_threshold=shed_threshold)
     return ClusterBed(env=env, hosts=hosts, migrator=migrator,
                       scheduler=scheduler, config=cfg, domains=domains)

@@ -388,7 +388,10 @@ class MigrationRetrier:
                 config: Optional[MigrationConfig] = None,
                 workload_name: str = "unknown",
                 scheme: str = "tpm",
-                scheme_kwargs: Optional[dict] = None) -> Generator:
+                scheme_kwargs: Optional[dict] = None,
+                deadline: Optional[float] = None,
+                replace_destination=None,
+                on_attempt_failure=None) -> Generator:
         """Migrate with retries; returns the final attempt's report.
 
         ``yield from`` inside a process.  Any registered ``scheme`` may
@@ -398,6 +401,17 @@ class MigrationRetrier:
         ``failed_attempts``, ``backoff_time``.  Raises
         :class:`~repro.errors.MigrationFailed` once ``max_attempts``
         attempts have all died.
+
+        The three optional hooks are the cluster scheduler's recovery
+        surface: ``deadline`` (absolute simulated time; once passed, no
+        further attempt starts), ``on_attempt_failure(attempt,
+        destination, failure)`` called after each failed attempt, and
+        ``replace_destination(domain, destination, attempt, failure)``
+        called before each re-attempt — returning a different
+        :class:`~repro.vm.host.Host` redirects the retry there (the
+        partial-copy table is keyed per destination, so a replacement
+        target automatically starts clean while the source keeps its
+        surviving tracking bitmap).
         """
         failures: list[MigrationReport] = []
         backoff_total = 0.0
@@ -411,6 +425,8 @@ class MigrationRetrier:
             except MigrationFailed as failure:
                 if failure.report is not None:
                     failures.append(failure.report)
+                if on_attempt_failure is not None:
+                    on_attempt_failure(attempt, destination, failure)
                 if attempt == self.max_attempts:
                     self.env.tracer.instant("retry:gave-up",
                                             category="retry",
@@ -434,6 +450,21 @@ class MigrationRetrier:
                         yield from source.wait_until_up()
                     if destination.crashed:
                         yield from destination.wait_until_up()
+                if deadline is not None and self.env.now >= deadline:
+                    self.env.tracer.instant("retry:deadline",
+                                            category="retry",
+                                            attempts=attempt,
+                                            deadline=deadline)
+                    raise MigrationFailed(
+                        f"migration of {domain} abandoned after {attempt} "
+                        f"attempt(s): deadline {deadline:.3f}s passed",
+                        report=failure.report) from failure
+                if replace_destination is not None:
+                    replacement = replace_destination(
+                        domain, destination, attempt, failure)
+                    if replacement is not None \
+                            and replacement is not destination:
+                        destination = replacement
                 continue
             report.attempts = attempt
             report.failed_attempts = failures

@@ -57,6 +57,17 @@ class NoValidHost(MigrationError):
         self.eliminated = dict(eliminated or {})
 
 
+class AdmissionRejected(MigrationError):
+    """Raised when the cluster scheduler sheds new work at submission:
+    too large a fraction of the fleet's circuit breakers are open, so
+    piling more migrations on the survivors would only deepen the
+    incident.  Carries the open fraction that tripped the rejection."""
+
+    def __init__(self, message: str, open_fraction: float = 0.0) -> None:
+        super().__init__(message)
+        self.open_fraction = open_fraction
+
+
 class MigrationAborted(MigrationError):
     """Raised when a migration is proactively aborted, e.g. because the
     storage dirty rate exceeds the transfer rate for too many iterations."""

@@ -6,8 +6,10 @@ cheap recovery) only matters because migrations fail.  This package makes
 them fail on purpose, reproducibly:
 
 * :class:`FaultPlan` — a declarative schedule of link blackouts,
-  bandwidth/latency degradation windows, and host crashes, triggered at
-  absolute simulated times or at migration phase marks;
+  bandwidth/latency degradation windows, host crashes, topology
+  partitions (:class:`PartitionSpec`) and deterministic link flapping
+  (:class:`FlapSpec`), triggered at absolute simulated times or at
+  migration phase marks;
 * :class:`FaultInjector` — wires a plan into the links and hosts of a
   testbed (``FaultInjector(env, plan).inject(migrator)``).
 
@@ -26,6 +28,8 @@ from .plan import (
     CrashSpec,
     DegradeSpec,
     FaultPlan,
+    FlapSpec,
+    PartitionSpec,
 )
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "DegradeSpec",
     "FaultInjector",
     "FaultPlan",
+    "FlapSpec",
     "LinkFaultState",
     "PHASES",
+    "PartitionSpec",
 ]

@@ -33,10 +33,12 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..errors import FaultError, NetworkError
 from ..net.link import DuplexLink, Link
-from .plan import BlackoutSpec, CrashSpec, DegradeSpec, FaultPlan
+from .plan import (BlackoutSpec, CrashSpec, DegradeSpec, FaultPlan,
+                   FlapSpec, PartitionSpec)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.manager import Migrator
+    from ..net.topology import Topology
     from ..sim import Environment
 
 
@@ -148,6 +150,9 @@ class FaultInjector:
         self._states: dict[int, LinkFaultState] = {}
         #: ``(link, direction_tag)`` pairs, for direction-filtered specs.
         self._links: list[tuple[Link, str]] = []
+        #: ``(duplex, (a, b))`` per attached duplex, for link-named specs
+        #: (flaps) and partition cuts.
+        self._duplexes: list[tuple[DuplexLink, tuple[str, str]]] = []
         self._hosts: dict[str, object] = {}
         #: host name -> links touching that host (for crash isolation).
         self._host_links: dict[str, list[Link]] = {}
@@ -155,6 +160,14 @@ class FaultInjector:
         self._fired: set[tuple] = set()
         #: ``(time, description)`` log of every activated fault.
         self.log: list[tuple[float, str]] = []
+        #: Set by :meth:`inject`; partitions and fabric-wide flaps need
+        #: the graph to find crossing/fabric links.
+        self._topology: "Optional[Topology]" = None
+        #: Called as ``fn(host_name, now)`` when a planned crash fires /
+        #: a crashed host restarts — the feed for
+        #: :class:`~repro.cluster.health.HealthMonitor`.
+        self.crash_listeners: list = []
+        self.restart_listeners: list = []
 
     # -- attachment --------------------------------------------------------
 
@@ -171,8 +184,12 @@ class FaultInjector:
         """Wire the plan into one full-duplex link (both directions).
 
         Time-triggered windows are installed immediately on the new link;
-        phase-triggered ones wait for :meth:`on_phase`.
+        phase-triggered ones wait for :meth:`on_phase`.  Re-attaching an
+        already-attached duplex is a no-op, so lazily created links
+        (e.g. sharded surrogate fabric) can be offered unconditionally.
         """
+        if id(duplex.forward) in self._states:
+            return self
         new_links = []
         for link, tag in ((duplex.forward, "forward"),
                           (duplex.backward, "backward")):
@@ -182,6 +199,26 @@ class FaultInjector:
             for host in hosts:
                 if host:
                     self._host_links.setdefault(host, []).append(link)
+        ends = (hosts[0] or duplex.forward.name, hosts[1] or "")
+        self._duplexes.append((duplex, ends))
+        for spec in self.plan.flaps:
+            if spec.at is None or not self._flap_covers(spec, ends):
+                continue
+            for link, tag in new_links:
+                if _direction_matches(spec.direction, tag):
+                    state = self._state_for(link)
+                    for start, end in spec.windows(spec.at):
+                        state.add_blackout(start, end)
+        for spec in self.plan.partitions:
+            if spec.at is None or self._topology is None:
+                continue
+            cut = frozenset(spec.isolate)
+            if (hosts[0] and hosts[1]
+                    and self._topology.partition_side(hosts[0], cut)
+                    != self._topology.partition_side(hosts[1], cut)):
+                for link, _tag in new_links:
+                    self._state_for(link).add_blackout(
+                        spec.at, spec.at + spec.duration)
         for spec in self.plan.blackouts:
             if spec.at is None:
                 continue
@@ -199,8 +236,19 @@ class FaultInjector:
                         spec.bandwidth_factor, spec.extra_latency)
         return self
 
+    def _flap_covers(self, spec: FlapSpec, ends: tuple[str, str]) -> bool:
+        """Does this flap spec target the duplex with endpoints ``ends``?"""
+        if spec.link is not None:
+            return frozenset(spec.link) == frozenset(ends)
+        if self._topology is None:
+            return True  # attach-only use: no graph to scope to, flap all
+        fabric = {"rack", "pod", "core"}
+        return all(end and self._topology.tier_of(end) in fabric
+                   for end in ends)
+
     def inject(self, migrator: "Migrator") -> "FaultInjector":
         """Attach to every link and host a :class:`Migrator` knows about."""
+        self._topology = migrator.topology
         for (a, b), duplex in migrator._links.items():
             self.attach(duplex, hosts=(a, b))
         self._hosts.update(migrator._hosts)
@@ -227,6 +275,28 @@ class FaultInjector:
                     duration=spec.duration,
                     bandwidth_factor=spec.bandwidth_factor,
                     extra_latency=spec.extra_latency)
+        for spec in self.plan.partitions:
+            if spec.at is not None:
+                crossing = self._topology.crossing_links(spec.isolate)
+                self.log.append((spec.at, f"partition {list(spec.isolate)} "
+                                          f"{spec.duration:.3f}s "
+                                          f"({len(crossing)} links cut)"))
+                self.env.tracer.instant(
+                    "fault:partition", category="fault",
+                    isolate=list(spec.isolate), start=spec.at,
+                    duration=spec.duration, links_cut=len(crossing))
+        for spec in self.plan.flaps:
+            if spec.at is not None:
+                self.log.append((spec.at, f"flap "
+                                          f"{spec.link or 'fabric'} "
+                                          f"x{spec.count} "
+                                          f"{spec.down_time:.3f}s down / "
+                                          f"{spec.up_time:.3f}s up"))
+                self.env.tracer.instant(
+                    "fault:flap", category="fault",
+                    link=list(spec.link) if spec.link else None,
+                    start=spec.at, count=spec.count,
+                    down_time=spec.down_time, up_time=spec.up_time)
         migrator.fault_injector = self
         return self
 
@@ -235,6 +305,7 @@ class FaultInjector:
         for link, _tag in self._links:
             link.faults = None
         self._links.clear()
+        self._duplexes.clear()
         self._states.clear()
 
     # -- phase triggers ----------------------------------------------------
@@ -248,6 +319,13 @@ class FaultInjector:
         for i, spec in enumerate(self.plan.degradations):
             if spec.phase == name:
                 self._install_degrade(spec, now + spec.offset, key=("d", i))
+        for i, spec in enumerate(self.plan.partitions):
+            if spec.phase == name:
+                self._install_partition(spec, now + spec.offset,
+                                        key=("p", i))
+        for i, spec in enumerate(self.plan.flaps):
+            if spec.phase == name:
+                self._install_flap(spec, now + spec.offset, key=("f", i))
         for i, spec in enumerate(self.plan.crashes):
             if spec.phase == name and ("c", i) not in self._fired:
                 self._fired.add(("c", i))
@@ -293,6 +371,53 @@ class FaultInjector:
                                 bandwidth_factor=spec.bandwidth_factor,
                                 extra_latency=spec.extra_latency)
 
+    def _install_partition(self, spec: PartitionSpec, start: float,
+                           key: tuple) -> None:
+        if key in self._fired:
+            return
+        self._fired.add(key)
+        if self._topology is None:
+            raise FaultError(
+                "partition faults need a topology; use inject(migrator), "
+                "not bare attach()")
+        cut = frozenset(spec.isolate)
+        ncut = 0
+        for (a, b), duplex in self._topology.links.items():
+            if (self._topology.partition_side(a, cut)
+                    == self._topology.partition_side(b, cut)):
+                continue
+            ncut += 1
+            for link in (duplex.forward, duplex.backward):
+                self._state_for(link).add_blackout(
+                    start, start + spec.duration)
+        self.log.append((start, f"partition {list(spec.isolate)} "
+                                f"{spec.duration:.3f}s ({ncut} links cut)"))
+        self.env.tracer.instant("fault:partition", category="fault",
+                                isolate=list(spec.isolate), start=start,
+                                duration=spec.duration, links_cut=ncut)
+
+    def _install_flap(self, spec: FlapSpec, start: float, key: tuple) -> None:
+        if key in self._fired:
+            return
+        self._fired.add(key)
+        windows = spec.windows(start)
+        for duplex, ends in self._duplexes:
+            if not self._flap_covers(spec, ends):
+                continue
+            for link, tag in ((duplex.forward, "forward"),
+                              (duplex.backward, "backward")):
+                if _direction_matches(spec.direction, tag):
+                    state = self._state_for(link)
+                    for lo, hi in windows:
+                        state.add_blackout(lo, hi)
+        self.log.append((start, f"flap {spec.link or 'fabric'} "
+                                f"x{spec.count} {spec.down_time:.3f}s"))
+        self.env.tracer.instant("fault:flap", category="fault",
+                                link=list(spec.link) if spec.link else None,
+                                start=start, count=spec.count,
+                                down_time=spec.down_time,
+                                up_time=spec.up_time)
+
     def _crash_later(self, spec: CrashSpec, at: float, key: tuple) -> Generator:
         if at > self.env.now:
             yield self.env.timeout(at - self.env.now)
@@ -313,6 +438,8 @@ class FaultInjector:
         self.log.append((self.env.now, f"crash {spec.host}"))
         self.env.tracer.instant("fault:crash", category="fault",
                                 host=spec.host, down_for=spec.down_for)
+        for listener in self.crash_listeners:
+            listener(spec.host, self.env.now)
         if spec.down_for is not None:
             self.env.process(self._restart_later(spec),
                              name=f"fault:restart:{spec.host}")
@@ -334,3 +461,5 @@ class FaultInjector:
         self.log.append((self.env.now, f"restart {spec.host}"))
         self.env.tracer.instant("fault:restart", category="fault",
                                 host=spec.host)
+        for listener in self.restart_listeners:
+            listener(spec.host, self.env.now)

@@ -94,6 +94,84 @@ class DegradeSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """A network partition along topology boundaries.
+
+    ``isolate`` names the nodes on the minority side of the split —
+    rack/pod switch names or individual host names; a host is on the
+    isolated side when it (or, transitively, the switch it hangs off)
+    is listed.  Every link *crossing* the cut blacks out in both
+    directions for ``duration`` seconds and then heals.  Links interior
+    to either side keep carrying traffic, so intra-rack migrations ride
+    out a rack-level partition untouched while anything crossing the
+    fabric times out (``send_timeout``) and fails cleanly.
+    """
+
+    isolate: tuple[str, ...]
+    duration: float
+    at: Optional[float] = None
+    phase: Optional[str] = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_trigger(self.at, self.phase, self.offset)
+        object.__setattr__(self, "isolate",
+                           tuple(sorted(set(self.isolate))))
+        if not self.isolate:
+            raise FaultError("partition needs at least one node to isolate")
+        if self.duration <= 0:
+            raise FaultError(
+                f"partition duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class FlapSpec:
+    """Deterministic link flapping: ``count`` outages of ``down_time``
+    seconds separated by ``up_time`` seconds of calm, starting at the
+    trigger.
+
+    ``link`` selects one duplex link by its endpoint node names (order
+    irrelevant); ``link=None`` flaps every inter-rack fabric link —
+    the classic mis-crimped-uplink failure mode.  Unlike
+    :class:`BlackoutSpec` (which darkens *every* attached link), a flap
+    is targeted, which is what chaos schedules and the sharded
+    window-boundary tests need.
+    """
+
+    down_time: float
+    up_time: float = 0.5
+    count: int = 1
+    link: Optional[tuple[str, str]] = None
+    at: Optional[float] = None
+    phase: Optional[str] = None
+    offset: float = 0.0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        _check_trigger(self.at, self.phase, self.offset)
+        _check_direction(self.direction)
+        if self.down_time <= 0:
+            raise FaultError(
+                f"flap down_time must be positive, got {self.down_time!r}")
+        if self.up_time <= 0:
+            raise FaultError(
+                f"flap up_time must be positive, got {self.up_time!r}")
+        if self.count < 1:
+            raise FaultError(f"flap count must be >= 1, got {self.count!r}")
+        if self.link is not None:
+            if len(self.link) != 2 or not all(self.link):
+                raise FaultError(
+                    f"flap link must be two node names, got {self.link!r}")
+            object.__setattr__(self, "link", tuple(self.link))
+
+    def windows(self, start: float) -> list[tuple[float, float]]:
+        """The ``(start, end)`` blackout windows of one flap episode."""
+        period = self.down_time + self.up_time
+        return [(start + k * period, start + k * period + self.down_time)
+                for k in range(self.count)]
+
+
+@dataclass(frozen=True)
 class CrashSpec:
     """A host failure.
 
@@ -133,6 +211,8 @@ class FaultPlan:
     blackouts: list[BlackoutSpec] = field(default_factory=list)
     degradations: list[DegradeSpec] = field(default_factory=list)
     crashes: list[CrashSpec] = field(default_factory=list)
+    partitions: list[PartitionSpec] = field(default_factory=list)
+    flaps: list[FlapSpec] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.send_timeout <= 0:
@@ -166,7 +246,43 @@ class FaultPlan:
         self.crashes.append(CrashSpec(host, at, phase, offset, down_for))
         return self
 
+    def partition(self, isolate, duration: float,
+                  at: Optional[float] = None, phase: Optional[str] = None,
+                  offset: float = 0.0) -> "FaultPlan":
+        """Schedule a topology partition isolating the named nodes."""
+        self.partitions.append(PartitionSpec(tuple(isolate), duration,
+                                             at, phase, offset))
+        return self
+
+    def flap(self, down_time: float, up_time: float = 0.5, count: int = 1,
+             link: Optional[tuple[str, str]] = None,
+             at: Optional[float] = None, phase: Optional[str] = None,
+             offset: float = 0.0, direction: str = "both") -> "FaultPlan":
+        """Schedule deterministic flapping on one link (or all fabric)."""
+        self.flaps.append(FlapSpec(down_time, up_time, count, link,
+                                   at, phase, offset, direction))
+        return self
+
     @property
     def empty(self) -> bool:
         """True when the plan schedules no fault at all."""
-        return not (self.blackouts or self.degradations or self.crashes)
+        return not (self.blackouts or self.degradations or self.crashes
+                    or self.partitions or self.flaps)
+
+    def narrowed_to(self, hosts) -> "FaultPlan":
+        """A copy whose crash specs are restricted to ``hosts`` (names).
+
+        Link-scoped specs (blackouts, degradations, partitions, flaps)
+        are kept verbatim — they simply match nothing on topologies that
+        lack the named links.  This is how a single cluster-wide plan is
+        split across :class:`~repro.cluster.sharded.ShardedCluster`
+        shards, each of which knows only its own hosts.
+        """
+        known = set(hosts)
+        plan = FaultPlan(send_timeout=self.send_timeout)
+        plan.blackouts = list(self.blackouts)
+        plan.degradations = list(self.degradations)
+        plan.partitions = list(self.partitions)
+        plan.flaps = list(self.flaps)
+        plan.crashes = [spec for spec in self.crashes if spec.host in known]
+        return plan

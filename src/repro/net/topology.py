@@ -65,6 +65,11 @@ class RoutedPath:
         self.hops = tuple(hops)
         self.env = self.hops[0].env
         self.name = name or "+".join(hop.name for hop in self.hops)
+        #: ``id(hop)`` -> bytes that cleared that hop in sends which then
+        #: died on a later hop (blackout timeout).  The conservation
+        #: audit needs these: upstream wires really carried the bytes,
+        #: but the channel never booked the failed send.
+        self.aborted_by_hop: dict[int, int] = {}
 
     @property
     def bandwidth(self) -> float:
@@ -91,8 +96,14 @@ class RoutedPath:
 
     def transmit(self, nbytes: int, priority: int = 0) -> Generator:
         """Store-and-forward across every hop; ``yield from`` in a process."""
-        for hop in self.hops:
-            yield from hop.transmit(nbytes, priority=priority)
+        for i, hop in enumerate(self.hops):
+            try:
+                yield from hop.transmit(nbytes, priority=priority)
+            except NetworkError:
+                for done in self.hops[:i]:
+                    self.aborted_by_hop[id(done)] = (
+                        self.aborted_by_hop.get(id(done), 0) + nbytes)
+                raise
 
     @property
     def queue_length(self) -> int:
@@ -221,6 +232,56 @@ class Topology:
             if rack is not None:
                 out.setdefault(rack, []).append(name)
         return out
+
+    def _parent_of(self, name: str) -> Optional[str]:
+        """The next switch up the tier ladder, or None at the top.
+
+        Deterministic: among equally-ranked neighbours the
+        lexicographically first wins (same rule as :meth:`rack_of`).
+        """
+        ladder = {"host": ("rack", "pod", "core"),
+                  "rack": ("pod", "core"),
+                  "pod": ("core",),
+                  "core": ()}
+        for want in ladder[self.tier_of(name)]:
+            for neighbour in sorted(self._adjacency.get(name, ())):
+                if self.tier_of(neighbour) == want:
+                    return neighbour
+        return None
+
+    def partition_side(self, node: NodeRef, isolate: frozenset) -> bool:
+        """True when ``node`` sits on the isolated side of a partition.
+
+        A node is isolated when its name — or, transitively, the name of
+        any switch on its path up the tier ladder — appears in
+        ``isolate``.  Listing ``rack1`` therefore isolates the switch
+        *and* every host hanging off it in one stroke.
+        """
+        name = _node_name(node)
+        seen: set[str] = set()
+        while name is not None and name not in seen:
+            if name in isolate:
+                return True
+            seen.add(name)
+            name = self._parent_of(name)
+        return False
+
+    def crossing_links(self, isolate) -> list[tuple[tuple[str, str],
+                                                    DuplexLink]]:
+        """``((a, b), duplex)`` for every link crossing the partition cut
+        described by ``isolate`` (see :meth:`partition_side`), in
+        deterministic insertion order."""
+        cut = frozenset(isolate)
+        side: dict[str, bool] = {}
+
+        def of(name: str) -> bool:
+            cached = side.get(name)
+            if cached is None:
+                cached = side[name] = self.partition_side(name, cut)
+            return cached
+
+        return [(key, duplex) for key, duplex in self.links.items()
+                if of(key[0]) != of(key[1])]
 
     def inter_rack_links(self) -> list[DuplexLink]:
         """Duplex links whose both endpoints sit in the inter-rack fabric

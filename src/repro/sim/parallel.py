@@ -26,6 +26,7 @@ from __future__ import annotations
 import gc
 import os
 import pickle
+import signal
 import traceback
 from typing import Any, Callable, Optional, Sequence
 
@@ -33,15 +34,22 @@ from ..errors import SimulationError
 
 
 class WorkerError(SimulationError):
-    """A thunk raised inside a forked worker.
+    """One or more thunks failed inside forked workers.
 
-    Carries the child-side traceback text (``child_traceback``) since
-    the original frames died with the worker process.
+    Carries the child-side traceback text (``child_traceback``, every
+    failure's traceback concatenated) since the original frames died
+    with the worker processes, plus ``failed_indices`` — the input
+    positions of **all** failing thunks (-1 for a worker that died
+    without producing a result, e.g. killed by a signal), so callers
+    can retry or report exactly the failed subset instead of only the
+    first casualty.
     """
 
-    def __init__(self, message: str, child_traceback: str = "") -> None:
+    def __init__(self, message: str, child_traceback: str = "",
+                 failed_indices: Sequence[int] = ()) -> None:
         super().__init__(message)
         self.child_traceback = child_traceback
+        self.failed_indices = tuple(failed_indices)
 
 
 def fork_available() -> bool:
@@ -139,8 +147,19 @@ def fork_map(thunks: Sequence[Callable[[], Any]],
             payload = fh.read()
         _pid, status = os.waitpid(pid, 0)
         if not payload:
-            errors.append((-1, None, f"worker {pid} died without a result "
-                           f"(wait status {status:#x})"))
+            if os.WIFSIGNALED(status):
+                signum = os.WTERMSIG(status)
+                try:
+                    signame = signal.Signals(signum).name
+                except ValueError:
+                    signame = f"signal {signum}"
+                cause = f"killed by {signame}"
+            elif os.WIFEXITED(status):
+                cause = f"exited with status {os.WEXITSTATUS(status)}"
+            else:
+                cause = f"wait status {status:#x}"
+            errors.append((-1, None,
+                           f"worker {pid} died without a result ({cause})"))
             continue
         for i, kind, value in pickle.loads(payload):
             if kind == "ok":
@@ -149,10 +168,27 @@ def fork_map(thunks: Sequence[Callable[[], Any]],
                 exc, tb = value
                 errors.append((i, exc, tb))
     if errors:
-        index, exc, tb = errors[0]
-        if isinstance(exc, BaseException):
-            raise WorkerError(
-                f"thunk {index} failed in forked worker: {exc!r}",
-                child_traceback=tb) from exc
-        raise WorkerError(f"forked worker failure: {tb}", child_traceback=tb)
+        # Report every casualty, not just the first: the indices let a
+        # caller retry exactly the failed subset, and the concatenated
+        # tracebacks keep correlated failures diagnosable in one read.
+        errors.sort(key=lambda e: e[0])
+        indices = [index for index, _exc, _tb in errors]
+        tracebacks = "\n".join(
+            f"--- thunk {index} ---\n{tb}" if index >= 0 else f"--- {tb} ---"
+            for index, _exc, tb in errors)
+        shown = ", ".join(str(i) for i in indices if i >= 0) or "unknown"
+        dead = sum(1 for i in indices if i < 0)
+        message = (f"{len(errors)} failure(s) in forked workers "
+                   f"(thunks: {shown}"
+                   + (f"; {dead} worker(s) died silently" if dead else "")
+                   + ")")
+        first_exc = next((exc for _i, exc, _tb in errors
+                          if isinstance(exc, BaseException)), None)
+        if first_exc is not None:
+            message = f"{message}: first: {first_exc!r}"
+        error = WorkerError(message, child_traceback=tracebacks,
+                            failed_indices=indices)
+        if first_exc is not None:
+            raise error from first_exc
+        raise error
     return results

@@ -82,6 +82,70 @@ class TestForkMap:
         assert fork_map(thunks, nworkers=2) == list(range(10))
 
 
+class TestErrorAggregation:
+    def test_all_failing_indices_are_reported(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def boom(msg):
+            raise ValueError(msg)
+
+        with pytest.raises(WorkerError) as excinfo:
+            fork_map([lambda: 0, lambda: boom("first"),
+                      lambda: 2, lambda: boom("second")], nworkers=2)
+        error = excinfo.value
+        assert error.failed_indices == (1, 3)
+        assert "thunks: 1, 3" in str(error)
+        # Both tracebacks survive, labelled by input position.
+        assert "--- thunk 1 ---" in error.child_traceback
+        assert "--- thunk 3 ---" in error.child_traceback
+        assert "first" in error.child_traceback
+        assert "second" in error.child_traceback
+        assert error.__cause__ is not None  # first real exception chained
+
+    def test_signal_death_is_decoded(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def suicide():
+            os.kill(os.getpid(), 9)  # SIGKILL: no traceback possible
+
+        with pytest.raises(WorkerError) as excinfo:
+            fork_map([suicide], nworkers=1)
+        error = excinfo.value
+        assert "SIGKILL" in error.child_traceback
+        assert error.failed_indices == (-1,)
+        assert "died silently" in str(error)
+
+    def test_silent_exit_is_decoded(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def vanish():
+            os._exit(3)  # exits before writing any result
+
+        with pytest.raises(WorkerError) as excinfo:
+            fork_map([vanish], nworkers=1)
+        assert "exited with status 3" in excinfo.value.child_traceback
+
+    def test_mixed_exception_and_signal_death(self):
+        if not fork_available():
+            pytest.skip("platform cannot fork")
+
+        def boom():
+            raise RuntimeError("survivable")
+
+        def suicide():
+            os.kill(os.getpid(), 9)
+
+        with pytest.raises(WorkerError) as excinfo:
+            fork_map([boom, suicide], nworkers=2)
+        error = excinfo.value
+        assert -1 in error.failed_indices and 0 in error.failed_indices
+        assert "RuntimeError" in error.child_traceback
+        assert "SIGKILL" in error.child_traceback
+
+
 class TestEngineBackend:
     def test_backend_validation(self):
         assert WORKER_BACKENDS == ("inline", "fork")
